@@ -1,0 +1,314 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. A Bechamel suite with one micro-benchmark per paper figure, each
+      timing the regeneration of one representative data point of that
+      figure — the real wall-clock cost of the simulator, useful for
+      tracking regressions in this repository itself.
+
+   2. The full reproduction: every figure of §5 regenerated on the
+      simulated multicore + NVMM and printed as series tables, plus the
+      measured per-code-line pwb classification behind Figures 3e/4e.
+
+   Flags: --quick (coarser sweep), --skip-bechamel, --skip-figures. *)
+
+open Bechamel
+open Toolkit
+
+let point factory mix threads () =
+  ignore
+    (Runner.measure ~duration_ns:20_000. ~seed:1 factory ~threads
+       (Workload.default mix)
+      : Runner.point)
+
+let without kinds f () =
+  List.iter (fun k -> Pstats.set_kind_enabled k false) kinds;
+  f ();
+  Pstats.set_all_enabled true
+
+let crash_campaign factory () =
+  let cfg =
+    Crashes.
+      {
+        factory;
+        threads = 4;
+        ops_per_thread = 8;
+        workload =
+          { Workload.(default update_intensive) with key_range = 32; prefill_n = 16 };
+        max_crashes = 2;
+      }
+  in
+  match Crashes.run_once cfg ~seed:1 with
+  | Ok _ -> ()
+  | Error m -> failwith m
+
+let bechamel_suite =
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let ri = Workload.read_intensive and ui = Workload.update_intensive in
+  Test.make_grouped ~name:"figures"
+    [
+      mk "fig3a-throughput" (point Set_intf.tracking ri 8);
+      mk "fig3b-psync-count" (point Set_intf.capsules_opt ri 8);
+      mk "fig3c-no-psync"
+        (without Pstats.[ Psync; Pfence ] (point Set_intf.tracking ri 8));
+      mk "fig3d-pwb-count" (point Set_intf.capsules ri 4);
+      mk "fig3e-categorize" (point Set_intf.capsules_opt ri 16);
+      mk "fig3f-removal"
+        (without Pstats.[ Pwb ] (point Set_intf.tracking ri 8));
+      mk "fig4a-throughput" (point Set_intf.tracking ui 8);
+      mk "fig4b-psync-count" (point Set_intf.capsules_opt ui 8);
+      mk "fig4c-no-psync"
+        (without Pstats.[ Psync; Pfence ] (point Set_intf.capsules_opt ui 8));
+      mk "fig4d-pwb-count" (point Set_intf.romulus ui 4);
+      mk "fig4e-categorize" (point Set_intf.redo ui 8);
+      mk "fig4f-removal"
+        (without Pstats.[ Pwb ] (point Set_intf.capsules_opt ui 8));
+      mk "fig5-tracking-categories" (point Set_intf.tracking ui 16);
+      mk "fig6-capsopt-categories" (point Set_intf.capsules_opt ui 16);
+      mk "detectability-crash-campaign"
+        (crash_campaign Set_intf.tracking);
+    ]
+
+let run_bechamel () =
+  Printf.printf "== Bechamel micro-benchmarks (one per paper figure) ==\n%!";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances bechamel_suite in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let est =
+          match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-42s %14.0f ns/run\n%!" name est)
+    (List.sort compare rows)
+
+(* ---- ablations and extensions beyond the paper's figures -------------- *)
+
+let thr ?prepare factory ~threads ~duration mix_cfg =
+  Pstats.set_all_enabled true;
+  let p = Runner.measure ~duration_ns:duration ?prepare factory ~threads mix_cfg in
+  Pstats.set_all_enabled true;
+  p.Runner.throughput_mops
+
+let table header rows =
+  Printf.printf "\n%s\n" header;
+  List.iter
+    (fun (label, cells) ->
+      Printf.printf "  %-28s %s\n" label
+        (String.concat " "
+           (List.map (fun v -> Printf.sprintf "%8.3f" v) cells)))
+    rows;
+  print_newline ()
+
+let run_extras ~quick =
+  let duration = if quick then 60_000. else 150_000. in
+  let sweep = if quick then [ 1; 8; 32 ] else [ 1; 4; 8; 16; 32; 48; 60 ] in
+  let ri = Workload.default Workload.read_intensive in
+  let ui = Workload.default Workload.update_intensive in
+  Printf.printf
+    "\n== Ablations and extensions (threads: %s) ==\n%!"
+    (String.concat "," (List.map string_of_int sweep));
+
+  (* Ablation 1: the read-only optimization (red code of Algorithm 1) *)
+  table "[ablation] read-only optimization, read-intensive (Mops/s)"
+    [
+      ( "tracking (optimized)",
+        List.map (fun n -> thr Set_intf.tracking ~threads:n ~duration ri) sweep );
+      ( "tracking (no optimization)",
+        List.map
+          (fun n -> thr Set_intf.tracking_no_ro_opt ~threads:n ~duration ri)
+          sweep );
+    ];
+
+  (* Ablation 2: the Intel CAS store-buffer drain — with it, removing all
+     psyncs barely matters (the paper's finding); without it, it does. *)
+  let nosync_gain drains n =
+    Cost.with_table
+      (fun c -> c.Cost.cas_drains_wb <- drains)
+      (fun () ->
+        let full = thr Set_intf.tracking ~threads:n ~duration ui in
+        let nos =
+          thr
+            ~prepare:(fun () ->
+              Pstats.set_kind_enabled Pstats.Psync false;
+              Pstats.set_kind_enabled Pstats.Pfence false)
+            Set_intf.tracking ~threads:n ~duration ui
+        in
+        nos /. full)
+  in
+  table
+    "[ablation] throughput gain from removing all psyncs (ratio; 1.0 = \
+     psyncs free)"
+    [
+      ("with CAS drain (Intel)", List.map (nosync_gain true) sweep);
+      ("without CAS drain", List.map (nosync_gain false) sweep);
+    ];
+
+  (* Ablation 3: the foreign-dirty-line flush penalty drives the
+     Tracking-vs-Capsules-Opt crossover. *)
+  let ratio steal n =
+    Cost.with_table
+      (fun c -> c.Cost.pwb_steal <- steal)
+      (fun () ->
+        thr Set_intf.tracking ~threads:n ~duration ui
+        /. thr Set_intf.capsules_opt ~threads:n ~duration ui)
+  in
+  table
+    "[ablation] tracking/capsules-opt throughput ratio vs steal penalty, \
+     update-intensive"
+    (List.map
+       (fun steal ->
+         (Printf.sprintf "pwb_steal = %.0f ns" steal,
+          List.map (ratio steal) sweep))
+       [ 20.; 400.; 1600. ]);
+
+  (* Extension 1: other key ranges (paper: "other ranges exhibit the same
+     trends"). *)
+  List.iter
+    (fun range ->
+      let wl = { ui with Workload.key_range = range; prefill_n = range / 2 } in
+      table
+        (Printf.sprintf
+           "[extension] key range [1,%d], update-intensive (Mops/s)" range)
+        [
+          ( "tracking",
+            List.map (fun n -> thr Set_intf.tracking ~threads:n ~duration wl) sweep );
+          ( "capsules-opt",
+            List.map
+              (fun n -> thr Set_intf.capsules_opt ~threads:n ~duration wl)
+              sweep );
+        ])
+    [ 100; 2000 ];
+
+  (* Extension 2: other operation mixes (paper: "results were similar"). *)
+  table "[extension] tracking across find percentages at 32 threads (Mops/s)"
+    [
+      ( "finds 10/30/50/70/90 %",
+        List.map
+          (fun pct ->
+            thr Set_intf.tracking ~threads:32 ~duration
+              (Workload.default (Workload.mix_of_find_pct pct)))
+          [ 10; 30; 50; 70; 90 ] );
+    ];
+
+  (* Extension 3: the recoverable BST (§6), which the paper derives but
+     does not benchmark. *)
+  table "[extension] recoverable BST vs list (tracking), update-intensive"
+    [
+      ( "tracking list",
+        List.map (fun n -> thr Set_intf.tracking ~threads:n ~duration ui) sweep );
+      ( "tracking bst",
+        List.map (fun n -> thr Set_intf.tracking_bst ~threads:n ~duration ui) sweep );
+    ];
+
+  (* Extension 4: the Tracking-derived recoverable queue (not in the
+     paper; demonstrates the transformation's generality). *)
+  let queue_rate n =
+    Pmem.reset_pending ();
+    let heap = Pmem.heap ~track_for_crash:false () in
+    let q = Rqueue.create heap ~threads:n in
+    for i = 0 to 63 do
+      Rqueue.enqueue q i
+    done;
+    Pmem.reset_pending ();
+    let ops = ref 0 in
+    let body (_ : int) =
+      let rng = Random.State.make [| Sim.tid (); 3 |] in
+      let rec go () =
+        if Sim.now () < duration then begin
+          if Random.State.bool rng then Rqueue.enqueue q 1
+          else ignore (Rqueue.dequeue q : int option);
+          incr ops;
+          go ()
+        end
+      in
+      go ()
+    in
+    (match Sim.run ~policy:`Perf (Array.make n body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> assert false);
+    float_of_int !ops /. duration *. 1000.
+  in
+  let stack_rate n =
+    Pmem.reset_pending ();
+    let heap = Pmem.heap ~track_for_crash:false () in
+    let st = Rstack.create heap ~threads:n in
+    for i = 0 to 63 do
+      Rstack.push st i
+    done;
+    Pmem.reset_pending ();
+    let ops = ref 0 in
+    let body (_ : int) =
+      let rng = Random.State.make [| Sim.tid (); 5 |] in
+      let rec go () =
+        if Sim.now () < duration then begin
+          if Random.State.bool rng then Rstack.push st 1
+          else ignore (Rstack.pop st : int option);
+          incr ops;
+          go ()
+        end
+      in
+      go ()
+    in
+    (match Sim.run ~policy:`Perf (Array.make n body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> assert false);
+    float_of_int !ops /. duration *. 1000.
+  in
+  table "[extension] recoverable queue and stack, 50/50 mixes (Mops/s)"
+    [
+      ("tracking queue", List.map queue_rate sweep);
+      ("tracking stack", List.map stack_rate sweep);
+    ];
+
+  (* Extension 5: recoverable exchanger rendezvous rate. *)
+  let exchanger_rate n =
+    Pmem.reset_pending ();
+    let heap = Pmem.heap ~track_for_crash:false () in
+    let x = Rexchanger.create heap ~threads:n in
+    let swaps = ref 0 in
+    let body (_ : int) =
+      let rec go () =
+        if Sim.now () < duration then begin
+          (match Rexchanger.exchange ~spins:200 x (Sim.tid ()) with
+          | Some _ -> incr swaps
+          | None -> ());
+          go ()
+        end
+      in
+      go ()
+    in
+    (match Sim.run ~policy:`Perf (Array.make n body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> assert false);
+    float_of_int !swaps /. duration *. 1000.
+  in
+  table "[extension] exchanger rendezvous rate (Mops/s)"
+    [ ("exchanges", List.map exchanger_rate (List.filter (fun n -> n >= 2) sweep)) ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let skip_bechamel = List.mem "--skip-bechamel" args in
+  let skip_figures = List.mem "--skip-figures" args in
+  let skip_extras = List.mem "--skip-extras" args in
+  if not skip_bechamel then run_bechamel ();
+  if not skip_figures then begin
+    let cfg =
+      if quick then Figures.quick_config
+      else { Figures.default_config with duration_ns = 200_000.; seeds = 2 }
+    in
+    Printf.printf "\n== Paper figures regenerated on the simulator ==\n%!";
+    Report.print_all cfg
+  end;
+  if not skip_extras then run_extras ~quick

@@ -1,0 +1,237 @@
+(* Command-line driver for the reproduction: regenerate figures, run
+   crash-injection campaigns, sweep throughput, classify pwb sites. *)
+
+open Cmdliner
+
+let algo_conv =
+  let parse s =
+    match Set_intf.by_name s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown algorithm %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun f -> f.Set_intf.fname) Set_intf.all))))
+  in
+  let print ppf f = Format.pp_print_string ppf f.Set_intf.fname in
+  Arg.conv (parse, print)
+
+let mix_conv =
+  let parse = function
+    | "read" | "read-intensive" -> Ok Workload.read_intensive
+    | "update" | "update-intensive" -> Ok Workload.update_intensive
+    | s -> (
+        match int_of_string_opt s with
+        | Some p when p >= 0 && p <= 100 -> Ok (Workload.mix_of_find_pct p)
+        | _ -> Error (`Msg "expected read | update | <find-%>"))
+  in
+  let print ppf m = Format.pp_print_string ppf m.Workload.name in
+  Arg.conv (parse, print)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Coarse sweep, single seed.")
+
+let algo =
+  Arg.(
+    value
+    & opt algo_conv Set_intf.tracking
+    & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Implementation to drive.")
+
+let mix =
+  Arg.(
+    value
+    & opt mix_conv Workload.update_intensive
+    & info [ "mix"; "m" ] ~docv:"MIX" ~doc:"Operation mix: read | update | <find-%>.")
+
+let cfg_of_quick quick =
+  if quick then Figures.quick_config
+  else { Figures.default_config with duration_ns = 200_000.; seeds = 2 }
+
+(* -- figures ------------------------------------------------------------ *)
+
+let figure_ids =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FIG" ~doc:"Figure ids (3a..4f, 5r, 5u, 6r, 6u); all if none.")
+
+let figures_cmd =
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write one CSV per figure into $(docv).")
+  in
+  let run quick ids csv =
+    let cfg = cfg_of_quick quick in
+    (if ids = [] then Report.print_all cfg
+     else
+       List.iter
+         (fun f ->
+           if List.mem f.Figures.id ids then
+             Format.printf "%a" Report.pp_figure f)
+         (Figures.all cfg));
+    match csv with
+    | Some dir -> Report.write_csv_dir ~dir cfg
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures (§5).")
+    Term.(const run $ quick $ figure_ids $ csv)
+
+(* -- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let threads =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16; 24; 32; 48; 60 ]
+      & info [ "threads"; "t" ] ~docv:"N,N,..." ~doc:"Thread counts.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 200_000.
+      & info [ "duration-ns" ] ~doc:"Virtual nanoseconds per point.")
+  in
+  let run algo mix threads duration =
+    List.iter
+      (fun n ->
+        let p =
+          Runner.measure ~duration_ns:duration algo ~threads:n
+            (Workload.default mix)
+        in
+        Format.printf "%a@." Runner.pp_point p)
+      threads
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Throughput sweep for one implementation.")
+    Term.(const run $ algo $ mix $ threads $ duration)
+
+(* -- crash campaigns ------------------------------------------------------ *)
+
+let crash_cmd =
+  let seeds =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~doc:"Number of seeded runs.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(value & opt int 15 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let crashes =
+    Arg.(value & opt int 3 & info [ "crashes" ] ~doc:"Max crashes per run.")
+  in
+  let key_range =
+    Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let run algo mix seeds threads ops crashes key_range =
+    if algo.Set_intf.fname = "harris" then begin
+      Format.printf "harris is volatile: it cannot recover from crashes@.";
+      exit 1
+    end;
+    let cfg =
+      Crashes.
+        {
+          factory = algo;
+          threads;
+          ops_per_thread = ops;
+          workload =
+            {
+              (Workload.default mix) with
+              key_range;
+              prefill_n = key_range / 2;
+            };
+          max_crashes = crashes;
+        }
+    in
+    match Crashes.run_campaign cfg ~seeds:(List.init seeds Fun.id) with
+    | Ok (n, o) ->
+        Format.printf
+          "%s: %d runs passed — %d operations, %d recovered through crashes, \
+           %d crashes injected@."
+          algo.Set_intf.fname n o.Crashes.completed_ops o.Crashes.recovered_ops
+          o.Crashes.crashes
+    | Error msg ->
+        Format.printf "DETECTABILITY VIOLATION — %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:"Crash-injection campaign with detectability checking.")
+    Term.(const run $ algo $ mix $ seeds $ threads $ ops $ crashes $ key_range)
+
+(* -- soak ----------------------------------------------------------------- *)
+
+let soak_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ] ~doc:"Campaign rounds; 0 = run until interrupted.")
+  in
+  let threads =
+    Arg.(value & opt int 6 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let run algo mix rounds threads =
+    if algo.Set_intf.fname = "harris" then begin
+      Format.printf "harris is volatile: it cannot recover from crashes@.";
+      exit 1
+    end;
+    let cfg =
+      Crashes.
+        {
+          factory = algo;
+          threads;
+          ops_per_thread = 20;
+          workload =
+            { (Workload.default mix) with key_range = 64; prefill_n = 32 };
+          max_crashes = 4;
+        }
+    in
+    let round = ref 0 in
+    let continue () = rounds = 0 || !round < rounds in
+    while continue () do
+      incr round;
+      let seeds = List.init 50 (fun i -> (!round * 1000) + i) in
+      match Crashes.run_campaign cfg ~seeds with
+      | Ok (n, o) ->
+          Format.printf
+            "round %d: %d runs ok — %d ops, %d recovered, %d crashes@."
+            !round n o.Crashes.completed_ops o.Crashes.recovered_ops
+            o.Crashes.crashes
+      | Error msg ->
+          Format.printf "round %d: DETECTABILITY VIOLATION — %s@." !round msg;
+          exit 1
+    done
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run crash-injection campaigns indefinitely (or for --rounds),           50 fresh seeds per round.")
+    Term.(const run $ algo $ mix $ rounds $ threads)
+
+(* -- classify ------------------------------------------------------------- *)
+
+let classify_cmd =
+  let run algo mix quick =
+    let cfg = cfg_of_quick quick in
+    Report.pp_classification Format.std_formatter
+      (Figures.classification cfg mix algo)
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Measure each pwb code line's impact (paper §5 methodology) and \
+          print the low/medium/high classification.")
+    Term.(const run $ algo $ mix $ quick)
+
+let () =
+  let doc =
+    "Reproduction of 'Detectable Recovery of Lock-Free Data Structures' \
+     (PPoPP 2022) on a simulated multicore with NVMM."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "repro" ~doc)
+          [ figures_cmd; sweep_cmd; crash_cmd; soak_cmd; classify_cmd ]))

@@ -1,0 +1,1 @@
+examples/durable_jobs.ml: Array List Pmem Printf Random Rqueue Sim

@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Array Hashtbl List Option Pmem Printf Random Rbst Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pmem Printf Rbst Rlist Sim String

@@ -1,0 +1,1 @@
+examples/work_handoff.ml: Array List Pmem Printf Random Rexchanger Sim String

@@ -1,0 +1,1 @@
+examples/work_handoff.mli:

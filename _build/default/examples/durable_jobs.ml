@@ -1,0 +1,108 @@
+(* Exactly-once job processing over the recoverable queue.
+
+   Run with: dune exec examples/durable_jobs.exe
+
+   Producers enqueue jobs; workers dequeue and "process" them.  The
+   machine loses power repeatedly.  Detectable recovery means a worker
+   interrupted mid-dequeue learns on restart whether it owned a job and
+   which one — so every job is processed exactly once, even though
+   crashes land at arbitrary points. *)
+
+let producers = 2
+let workers = 2
+let jobs_per_producer = 12
+
+let () =
+  let heap = Pmem.heap ~name:"jobs" () in
+  let threads = producers + workers in
+  let q = Rqueue.create heap ~threads in
+  let produced = ref [] and processed = ref [] in
+  let pending = Array.make threads None in
+  let to_produce =
+    Array.init threads (fun i ->
+        ref (if i < producers then List.init jobs_per_producer (fun j -> (i * 1000) + j) else []))
+  in
+  let budget = Array.make threads 60 in
+
+  let producer i (_ : int) =
+    let rec go () =
+      match !(to_produce.(i)) with
+      | [] -> ()
+      | job :: rest ->
+          pending.(i) <- Some (Rqueue.Enqueue job);
+          ignore (Rqueue.apply q (Rqueue.Enqueue job) : int option);
+          produced := job :: !produced;
+          pending.(i) <- None;
+          to_produce.(i) := rest;
+          go ()
+    in
+    go ()
+  in
+  let worker i (_ : int) =
+    while budget.(i) > 0 do
+      budget.(i) <- budget.(i) - 1;
+      pending.(i) <- Some Rqueue.Dequeue;
+      (match Rqueue.apply q Rqueue.Dequeue with
+      | Some job -> processed := job :: !processed
+      | None -> Sim.advance 200.);
+      pending.(i) <- None
+    done
+  in
+  let recoverer i (_ : int) =
+    match pending.(i) with
+    | None -> ()
+    | Some op ->
+        (match Rqueue.recover q op with
+        | Some job -> processed := job :: !processed
+        | None -> (
+            match op with
+            | Rqueue.Enqueue job -> produced := job :: !produced
+            | Rqueue.Dequeue -> ()));
+        (match op with
+        | Rqueue.Enqueue _ ->
+            to_produce.(i) := List.tl !(to_produce.(i))
+        | Rqueue.Dequeue -> budget.(i) <- budget.(i) - 1);
+        pending.(i) <- None
+  in
+  let mk_bodies () =
+    Array.init threads (fun i ->
+        if i < producers then producer i else worker i)
+  in
+  let rng = Random.State.make [| 7 |] in
+  let crashes = ref 0 in
+  let rec run round bodies =
+    match
+      Sim.run ~policy:`Random ~seed:round
+        ~crash_at:(if !crashes < 4 then 200 + Random.State.int rng 2_500 else -1)
+        bodies
+    with
+    | Sim.All_done ->
+        if Array.exists (fun p -> p <> None) pending then
+          run (round + 1) (Array.init threads recoverer)
+        else if
+          Array.exists (fun l -> !l <> []) to_produce
+          || Array.exists (fun b -> b > 0) (Array.sub budget producers workers)
+        then run (round + 1) (mk_bodies ())
+        else ()
+    | Sim.Crashed_at step ->
+        incr crashes;
+        Printf.printf "power failure #%d at step %d\n" !crashes step;
+        Pmem.crash ~rng heap;
+        run (round + 1) (Array.init threads recoverer)
+  in
+  run 0 (mk_bodies ());
+
+  (* drain whatever is left in the queue *)
+  let left = Rqueue.to_list q in
+  let outcome = List.sort compare (!processed @ left) in
+  let expected = List.sort compare !produced in
+  Printf.printf
+    "produced %d jobs, processed %d, still queued %d, crashes %d\n"
+    (List.length !produced) (List.length !processed) (List.length left)
+    !crashes;
+  if outcome = expected then
+    print_endline "every job accounted for exactly once"
+  else begin
+    print_endline "JOB ACCOUNTING MISMATCH";
+    exit 1
+  end

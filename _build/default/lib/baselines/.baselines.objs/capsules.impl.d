@@ -1,0 +1,1 @@
+lib/baselines/capsules.ml: Array Harris Pmem Printf Pstats Sim

@@ -1,0 +1,1 @@
+lib/baselines/capsules.mli: Pmem

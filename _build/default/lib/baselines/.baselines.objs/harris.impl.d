@@ -1,0 +1,1 @@
+lib/baselines/harris.ml: Format List Pmem Printf

@@ -1,0 +1,1 @@
+lib/baselines/harris.mli: Pmem

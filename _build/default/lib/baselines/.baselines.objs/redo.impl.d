@@ -1,0 +1,1 @@
+lib/baselines/redo.ml: Array Format List Pmem Printf Pstats Pvar Sim

@@ -1,0 +1,1 @@
+lib/baselines/redo.mli: Pmem

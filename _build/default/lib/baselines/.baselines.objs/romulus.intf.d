@@ -1,0 +1,1 @@
+lib/baselines/romulus.mli: Pmem

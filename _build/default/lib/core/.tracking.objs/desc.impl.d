@@ -1,0 +1,1 @@
+lib/core/desc.ml: Format Pmem

@@ -1,0 +1,1 @@
+lib/core/tracking.ml: Array Cost Desc List Pmem Pstats Pvar Sim

@@ -1,0 +1,1 @@
+lib/core/tracking.mli: Desc Pmem

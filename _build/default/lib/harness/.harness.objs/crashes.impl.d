@@ -1,0 +1,1 @@
+lib/harness/crashes.ml: Array List Oracle Pmem Printf Pstats Random Set_intf Sim Workload

@@ -1,0 +1,1 @@
+lib/harness/crashes.mli: Set_intf Workload

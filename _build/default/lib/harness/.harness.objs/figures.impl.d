@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Float Hashtbl List Printf Pstats Runner Set_intf Workload

@@ -1,0 +1,1 @@
+lib/harness/linearize.ml: Array Format Hashtbl Int List Set Set_intf

@@ -1,0 +1,1 @@
+lib/harness/linearize.mli: Format Set_intf

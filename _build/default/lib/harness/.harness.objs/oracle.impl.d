@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Format Int List Map Option Set Set_intf

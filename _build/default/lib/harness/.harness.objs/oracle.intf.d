@@ -1,0 +1,1 @@
+lib/harness/oracle.mli: Format Set_intf

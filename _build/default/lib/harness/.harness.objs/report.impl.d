@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Figures Filename Format List Out_channel Printf Pstats Set_intf String Sys Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Format Pmem Pstats Random Set_intf Sim Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Format Set_intf Workload

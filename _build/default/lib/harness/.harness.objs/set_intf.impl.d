@@ -1,0 +1,1 @@
+lib/harness/set_intf.ml: Capsules Format Harris List Pmem Rbst Redo Rhash Rlist Romulus String

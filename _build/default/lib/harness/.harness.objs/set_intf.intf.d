@@ -1,0 +1,1 @@
+lib/harness/set_intf.mli: Format Pmem

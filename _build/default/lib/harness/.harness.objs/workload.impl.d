@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Printf Random Set_intf

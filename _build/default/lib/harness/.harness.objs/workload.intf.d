@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Random Set_intf

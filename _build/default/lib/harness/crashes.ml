@@ -1,0 +1,128 @@
+type config = {
+  factory : Set_intf.factory;
+  threads : int;
+  ops_per_thread : int;
+  workload : Workload.config;
+  max_crashes : int;
+}
+
+type outcome = {
+  completed_ops : int;
+  recovered_ops : int;
+  crashes : int;
+}
+
+let run_once cfg ~seed =
+  Pmem.reset_pending ();
+  Pstats.set_all_enabled true;
+  let rng = Random.State.make [| seed; 0xC2A5 |] in
+  let heap = Pmem.heap ~name:cfg.factory.fname () in
+  let algo = cfg.factory.make heap ~threads:cfg.threads in
+  Workload.prefill rng cfg.workload algo;
+  Pmem.reset_pending ();
+  let initial = algo.Set_intf.contents () in
+  let events = ref [] in
+  let recovered = ref 0 in
+  let crashes = ref 0 in
+  (* The system's durable invocation bookkeeping: the pending operation it
+     will re-supply to Op.Recover, and each thread's remaining script. *)
+  let pending = Array.make cfg.threads None in
+  let remaining =
+    Array.init cfg.threads (fun t ->
+        let trng = Random.State.make [| seed; t; 0x0F5 |] in
+        ref (List.init cfg.ops_per_thread (fun _ -> Workload.gen_op trng cfg.workload)))
+  in
+  let record op ok =
+    events := { Oracle.eop = op; ok } :: !events
+  in
+  let worker tid (_ : int) =
+    let rec go () =
+      match !(remaining.(tid)) with
+      | [] -> ()
+      | op :: rest ->
+          pending.(tid) <- Some op;
+          let ok = Set_intf.apply algo op in
+          record op ok;
+          pending.(tid) <- None;
+          remaining.(tid) := rest;
+          go ()
+    in
+    go ()
+  in
+  let recoverer tid (_ : int) =
+    match pending.(tid) with
+    | None -> ()
+    | Some op ->
+        let ok = algo.Set_intf.recover op in
+        record op ok;
+        incr recovered;
+        pending.(tid) <- None;
+        (match !(remaining.(tid)) with
+        | _ :: rest -> remaining.(tid) := rest
+        | [] -> ())
+  in
+  let crash_budget_steps = cfg.threads * cfg.ops_per_thread * 300 in
+  (* watchdog: a livelocked structure must fail the campaign, not hang it *)
+  let step_limit = max 2_000_000 (crash_budget_steps * 100) in
+  let next_crash_at round =
+    if !crashes >= cfg.max_crashes then -1
+    else 1 + Random.State.int rng (max 2 (crash_budget_steps / (round + 1)))
+  in
+  let rec rounds round bodies =
+    if round > 50 * cfg.max_crashes + 50 then Error "campaign did not converge"
+    else
+      match
+        Sim.run ~policy:`Random
+          ~seed:(seed * 31 + round)
+          ~crash_at:(next_crash_at round) ~step_limit bodies
+      with
+      | Sim.All_done ->
+          if Array.exists (fun o -> o <> None) pending then
+            (* recovery itself crashed: recover again *)
+            rounds (round + 1) (Array.init cfg.threads recoverer)
+          else if Array.exists (fun r -> !r <> []) remaining then
+            rounds (round + 1) (Array.init cfg.threads worker)
+          else Ok ()
+      | Sim.Crashed_at _ ->
+          incr crashes;
+          Pmem.crash ~rng heap;
+          algo.Set_intf.recover_structure ();
+          rounds (round + 1) (Array.init cfg.threads recoverer)
+  in
+  match rounds 0 (Array.init cfg.threads worker) with
+  | Error _ as e -> e
+  | exception Pmem.Poisoned what ->
+      Error (Printf.sprintf "touched never-persisted data: %s" what)
+  | exception Sim.Step_limit ->
+      Error "step budget exhausted: livelock or starvation suspected"
+  | Ok () -> (
+      match algo.Set_intf.check () with
+      | Error msg -> Error ("structure invariant: " ^ msg)
+      | Ok () -> (
+          let final = algo.Set_intf.contents () in
+          match Oracle.check ~initial ~final (List.rev !events) with
+          | Error msg -> Error ("oracle: " ^ msg)
+          | Ok () ->
+              Ok
+                {
+                  completed_ops = List.length !events;
+                  recovered_ops = !recovered;
+                  crashes = !crashes;
+                }))
+
+let run_campaign cfg ~seeds =
+  let rec go acc n = function
+    | [] -> Ok (n, acc)
+    | seed :: rest -> (
+        match run_once cfg ~seed with
+        | Error msg -> Error (Printf.sprintf "seed %d: %s" seed msg)
+        | Ok o ->
+            go
+              {
+                completed_ops = acc.completed_ops + o.completed_ops;
+                recovered_ops = acc.recovered_ops + o.recovered_ops;
+                crashes = acc.crashes + o.crashes;
+              }
+              (n + 1) rest)
+  in
+  go { completed_ops = 0; recovered_ops = 0; crashes = 0 } 0 seeds

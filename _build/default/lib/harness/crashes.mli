@@ -1,0 +1,34 @@
+(** Crash-injection campaigns with detectability checking.
+
+    Each run executes a seeded random workload under the adversarial
+    (random) scheduler, crashes the system at a random step, resolves
+    outstanding write-backs adversarially, performs structure recovery,
+    then invokes every interrupted thread's recovery function with its
+    pending operation — exactly the paper's model, where the system
+    re-invokes [Op.Recover] with the original arguments (§2).  Multiple
+    crashes may hit the same run, including during recovery.
+
+    The run passes iff no poisoned (never-persisted) data is touched, the
+    structure's invariants hold, and the full set of responses — completed
+    plus recovered — satisfies the per-key oracle. *)
+
+type config = {
+  factory : Set_intf.factory;
+  threads : int;
+  ops_per_thread : int;
+  workload : Workload.config;
+  max_crashes : int;  (** how many crashes a single run may suffer *)
+}
+
+type outcome = {
+  completed_ops : int;
+  recovered_ops : int;  (** ops whose response came from recovery *)
+  crashes : int;
+}
+
+val run_once : config -> seed:int -> (outcome, string) result
+(** One seeded run; [Error] describes the first detected violation. *)
+
+val run_campaign : config -> seeds:int list -> (int * outcome, string) result
+(** All seeds; returns the run count and accumulated outcome, or the
+    seed's error message prefixed with the seed. *)

@@ -1,0 +1,64 @@
+(** Generators for every figure of the paper's evaluation (§5).
+
+    Each generator replays the paper's experiment on the simulator:
+
+    - 3a/4a — throughput of Tracking, Capsules, Capsules-Opt, Romulus and
+      RedoOpt (plus the volatile Harris list as the persistence-free
+      yardstick) against thread count;
+    - 3b/4b — psync+pfence executed per operation (the paper's machine
+      implements pfence with psync);
+    - 3c/4c — throughput with and without psync/pfence instructions;
+    - 3d/4d — pwb executed per operation;
+    - 3e/4e — fraction of executed pwbs whose {e code line} is low /
+      medium / high impact, where a line's category is measured exactly as
+      in the paper: add the single line to the persistence-free version
+      and classify the throughput loss (≤10%% low, ≤30%% medium, else
+      high);
+    - 3f/4f — cumulative removal of pwb categories (full, −L, −LM, −LMH);
+    - 5/6 — the X-caused performance loss per category for Tracking and
+      Capsules-Opt: persistence-free plus each category alone.
+
+    The classification is computed once per (algorithm, mix) at a
+    representative high-contention thread count and then treated as a
+    fixed set of code lines, as in the paper. *)
+
+type series = { label : string; values : (int * float) list }
+
+type figure = {
+  id : string;  (** e.g. "3a" *)
+  title : string;
+  ylabel : string;
+  threads : int list;
+  series : series list;
+}
+
+type config = {
+  sweep : int list;
+  duration_ns : float;  (** virtual time per measurement *)
+  classify_at : int;  (** thread count for the per-site classification *)
+  seeds : int;  (** measurements averaged per point *)
+}
+
+val default_config : config
+val quick_config : config
+
+val fig_throughput : config -> Workload.mix -> figure
+val fig_psyncs_per_op : config -> Workload.mix -> figure
+val fig_no_psync : config -> Workload.mix -> figure
+val fig_pwbs_per_op : config -> Workload.mix -> figure
+val fig_pwb_categories : config -> Workload.mix -> figure
+val fig_category_removal : config -> Workload.mix -> figure
+
+val fig_category_impact :
+  config -> Workload.mix -> Set_intf.factory -> figure
+(** Figures 5 and 6: pass {!Set_intf.tracking} or
+    {!Set_intf.capsules_opt}. *)
+
+val classification :
+  config -> Workload.mix -> Set_intf.factory ->
+  (string * Pstats.category * float) list
+(** The measured per-site impacts behind 3e/4e: site name, assigned
+    category, relative throughput loss. *)
+
+val all : config -> figure list
+(** Every figure of the paper, in order: 3a–3f, 4a–4f, 5, 6. *)

@@ -1,0 +1,67 @@
+type entry = {
+  op : Set_intf.op;
+  ok : bool;
+  inv : int;
+  res : int;
+}
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%d,%d] %a = %b" e.inv e.res Set_intf.pp_op e.op e.ok
+
+module IS = Set.Make (Int)
+
+(* Does executing [e] in [state] produce [e.ok]?  If so, the next state. *)
+let apply state e =
+  match e.op with
+  | Set_intf.Ins k ->
+      let present = IS.mem k state in
+      if e.ok = not present then Some (IS.add k state) else None
+  | Set_intf.Del k ->
+      let present = IS.mem k state in
+      if e.ok = present then Some (IS.remove k state) else None
+  | Set_intf.Fnd k -> if e.ok = IS.mem k state then Some state else None
+
+let check ?(initial = []) entries =
+  List.iter
+    (fun e -> if e.res < e.inv then invalid_arg "Linearize: res < inv")
+    entries;
+  let n = List.length entries in
+  if n > 20 then invalid_arg "Linearize.check: history too large";
+  let arr = Array.of_list entries in
+  (* memoize failed (chosen-set, state) configurations *)
+  let seen = Hashtbl.create 1024 in
+  let rec search chosen state =
+    if chosen = (1 lsl n) - 1 then true
+    else begin
+      let key = (chosen, IS.elements state) in
+      if Hashtbl.mem seen key then false
+      else begin
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let idx = !i in
+          incr i;
+          if chosen land (1 lsl idx) = 0 then begin
+            (* real-time minimality: no other unchosen entry responded
+               before this one's invocation *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if
+                j <> idx
+                && chosen land (1 lsl j) = 0
+                && arr.(j).res < arr.(idx).inv
+              then minimal := false
+            done;
+            if !minimal then
+              match apply state arr.(idx) with
+              | Some state' ->
+                  if search (chosen lor (1 lsl idx)) state' then ok := true
+              | None -> ()
+          end
+        done;
+        if not !ok then Hashtbl.add seen key ();
+        !ok
+      end
+    end
+  in
+  search 0 (IS.of_list initial)

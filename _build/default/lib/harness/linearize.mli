@@ -1,0 +1,21 @@
+(** Exhaustive linearizability checking for small set histories
+    (Wing–Gong style search).
+
+    The per-key oracle ({!Oracle}) is sound for per-key alternation but
+    ignores cross-key real-time ordering; this checker handles the full
+    property, at exponential cost, so it is used on small histories
+    (roughly up to a dozen concurrent operations). *)
+
+type entry = {
+  op : Set_intf.op;
+  ok : bool;
+  inv : int;  (** timestamp of invocation (e.g. simulator step count) *)
+  res : int;  (** timestamp of response; must be >= [inv] *)
+}
+
+val check : ?initial:int list -> entry list -> bool
+(** Is there a total order of the entries, consistent with real time
+    (if [e1.res < e2.inv] then [e1] before [e2]), under which every
+    response is correct for a sequential set starting from [initial]? *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,75 @@
+type event = { eop : Set_intf.op; ok : bool }
+
+let pp_event ppf e =
+  Format.fprintf ppf "%a = %b" Set_intf.pp_op e.eop e.ok
+
+module IM = Map.Make (Int)
+module IS = Set.Make (Int)
+
+type tally = {
+  si : int;  (* successful inserts *)
+  sd : int;  (* successful deletes *)
+  fi : int;  (* failed inserts *)
+  fd : int;  (* failed deletes *)
+  finds_true : int;
+  finds_false : int;
+}
+
+let zero = { si = 0; sd = 0; fi = 0; fd = 0; finds_true = 0; finds_false = 0 }
+
+let tally_of_events events =
+  List.fold_left
+    (fun m e ->
+      let k = Set_intf.op_key e.eop in
+      let t = Option.value (IM.find_opt k m) ~default:zero in
+      let t =
+        match (e.eop, e.ok) with
+        | Set_intf.Ins _, true -> { t with si = t.si + 1 }
+        | Set_intf.Ins _, false -> { t with fi = t.fi + 1 }
+        | Set_intf.Del _, true -> { t with sd = t.sd + 1 }
+        | Set_intf.Del _, false -> { t with fd = t.fd + 1 }
+        | Set_intf.Fnd _, true -> { t with finds_true = t.finds_true + 1 }
+        | Set_intf.Fnd _, false -> { t with finds_false = t.finds_false + 1 }
+      in
+      IM.add k t m)
+    IM.empty events
+
+let check ~initial ~final events =
+  let init = IS.of_list initial in
+  let fin = IS.of_list final in
+  let tallies = tally_of_events events in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let keys =
+    IS.union (IS.union init fin)
+      (IM.fold (fun k _ acc -> IS.add k acc) tallies IS.empty)
+  in
+  IS.fold
+    (fun k acc ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+          let t = Option.value (IM.find_opt k tallies) ~default:zero in
+          let i0 = IS.mem k init and f0 = IS.mem k fin in
+          let net = t.si - t.sd in
+          let expected_net = (if f0 then 1 else 0) - if i0 then 1 else 0 in
+          if net <> expected_net then
+            err
+              "key %d: net successful inserts %d (si=%d sd=%d) but presence \
+               went %b -> %b"
+              k net t.si t.sd i0 f0
+          else if (not i0) && (net < 0 || net > 1) then
+            err "key %d: impossible alternation from absent (si=%d sd=%d)" k
+              t.si t.sd
+          else if i0 && (net > 0 || net < -1) then
+            err "key %d: impossible alternation from present (si=%d sd=%d)" k
+              t.si t.sd
+          else if t.fi > 0 && (not i0) && t.si = 0 then
+            err "key %d: failed insert but the key was never present" k
+          else if t.fd > 0 && i0 && t.sd = 0 then
+            err "key %d: failed delete but the key was never absent" k
+          else if t.si = 0 && t.sd = 0 && i0 && t.finds_false > 0 then
+            err "key %d: find returned false but key was present throughout" k
+          else if t.si = 0 && t.sd = 0 && (not i0) && t.finds_true > 0 then
+            err "key %d: find returned true but key was absent throughout" k
+          else Ok ())
+    keys (Ok ())

@@ -1,0 +1,80 @@
+let pp_figure ppf (f : Figures.figure) =
+  Format.fprintf ppf "@.=== Figure %s — %s (%s) ===@." f.Figures.id
+    f.Figures.title f.Figures.ylabel;
+  let labels = List.map (fun s -> s.Figures.label) f.Figures.series in
+  let width = List.fold_left (fun w l -> max w (String.length l)) 10 labels in
+  Format.fprintf ppf "%8s" "threads";
+  List.iter (fun l -> Format.fprintf ppf " %*s" width l) labels;
+  Format.pp_print_newline ppf ();
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%8d" n;
+      List.iter
+        (fun s ->
+          match List.assoc_opt n s.Figures.values with
+          | Some v -> Format.fprintf ppf " %*.3f" width v
+          | None -> Format.fprintf ppf " %*s" width "-")
+        f.Figures.series;
+      Format.pp_print_newline ppf ())
+    f.Figures.threads
+
+let pp_classification ppf rows =
+  Format.fprintf ppf "%-28s %-8s %s@." "site (code line)" "class" "impact";
+  List.iter
+    (fun (name, cat, impact) ->
+      let cat_s = Format.asprintf "%a" Pstats.pp_category cat in
+      Format.fprintf ppf "%-28s %-8s %5.1f%%@." name cat_s (100. *. impact))
+    rows
+
+let print_all cfg =
+  let figs = Figures.all cfg in
+  List.iter
+    (fun f ->
+      Format.eprintf "[figures] rendering %s...@." f.Figures.id;
+      Format.printf "%a" pp_figure f)
+    figs;
+  List.iter
+    (fun (factory, mix) ->
+      Format.printf "@.--- pwb code-line classification: %s, %s ---@."
+        factory.Set_intf.fname mix.Workload.name;
+      pp_classification Format.std_formatter
+        (Figures.classification cfg mix factory))
+    [
+      (Set_intf.tracking, Workload.read_intensive);
+      (Set_intf.tracking, Workload.update_intensive);
+      (Set_intf.capsules_opt, Workload.read_intensive);
+      (Set_intf.capsules_opt, Workload.update_intensive);
+    ]
+
+let figure_to_csv (f : Figures.figure) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "threads";
+  List.iter
+    (fun s ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.Figures.label)
+    f.Figures.series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun n ->
+      Buffer.add_string buf (string_of_int n);
+      List.iter
+        (fun s ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt n s.Figures.values with
+          | Some v -> Buffer.add_string buf (Printf.sprintf "%.6f" v)
+          | None -> ())
+        f.Figures.series;
+      Buffer.add_char buf '\n')
+    f.Figures.threads;
+  Buffer.contents buf
+
+let write_csv_dir ~dir cfg =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir ("fig-" ^ f.Figures.id ^ ".csv") in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (figure_to_csv f));
+      Format.eprintf "[figures] wrote %s@." path)
+    (Figures.all cfg)

@@ -1,0 +1,19 @@
+(** ASCII rendering of regenerated figures: one table per figure (rows =
+    thread counts, columns = series), in the same terms the paper's plots
+    use. *)
+
+val pp_figure : Format.formatter -> Figures.figure -> unit
+
+val pp_classification :
+  Format.formatter -> (string * Pstats.category * float) list -> unit
+(** The measured per-code-line impacts behind the categorization. *)
+
+val print_all : Figures.config -> unit
+(** Regenerate and print every figure, with progress on stderr. *)
+
+val figure_to_csv : Figures.figure -> string
+(** One CSV: a [threads] column followed by one column per series. *)
+
+val write_csv_dir : dir:string -> Figures.config -> unit
+(** Regenerate every figure and write [fig-<id>.csv] files into [dir]
+    (created if missing), ready for gnuplot/python plotting. *)

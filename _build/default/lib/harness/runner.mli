@@ -1,0 +1,31 @@
+(** Simulated-throughput runner: executes a seeded workload for a fixed
+    virtual duration on N logical threads under the performance scheduler
+    and reports throughput plus persistence-instruction statistics —
+    the measurement core behind every figure of §5. *)
+
+type point = {
+  algo : string;
+  threads : int;
+  mix : string;
+  throughput_mops : float;  (** completed operations per virtual µs ×1 *)
+  ops : int;
+  pwbs_per_op : float;
+  psyncs_per_op : float;  (** psync + pfence, as on the paper's machine *)
+  low_frac : float;  (** fraction of executed pwbs in each impact class *)
+  medium_frac : float;
+  high_frac : float;
+}
+
+val measure :
+  ?duration_ns:float ->
+  ?seed:int ->
+  ?prepare:(unit -> unit) ->
+  Set_intf.factory ->
+  threads:int ->
+  Workload.config ->
+  point
+(** [prepare] runs after instance creation and prefill but before the
+    measured run (and before statistics are reset) — the hook the figure
+    generators use to disable persistence-instruction sites. *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,237 @@
+type op = Ins of int | Del of int | Fnd of int
+
+let op_key = function Ins k | Del k | Fnd k -> k
+
+let pp_op ppf = function
+  | Ins k -> Format.fprintf ppf "insert(%d)" k
+  | Del k -> Format.fprintf ppf "delete(%d)" k
+  | Fnd k -> Format.fprintf ppf "find(%d)" k
+
+type t = {
+  name : string;
+  insert : int -> bool;
+  delete : int -> bool;
+  find : int -> bool;
+  recover : op -> bool;
+  recover_structure : unit -> unit;
+  check : unit -> (unit, string) result;
+  contents : unit -> int list;
+  supports_crash : bool;
+}
+
+let apply t = function Ins k -> t.insert k | Del k -> t.delete k | Fnd k -> t.find k
+
+type factory = { fname : string; make : Pmem.heap -> threads:int -> t }
+
+let tracking =
+  {
+    fname = "tracking";
+    make =
+      (fun heap ~threads ->
+        let module L = Rlist.Int in
+        let l = L.create heap ~threads in
+        let conv = function
+          | Ins k -> L.Insert k
+          | Del k -> L.Delete k
+          | Fnd k -> L.Find k
+        in
+        {
+          name = "tracking";
+          insert = L.insert l;
+          delete = L.delete l;
+          find = L.find l;
+          recover = (fun op -> L.recover l (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> L.check_invariants l);
+          contents = (fun () -> L.to_list l);
+          supports_crash = true;
+        });
+  }
+
+let tracking_bst =
+  {
+    fname = "tracking-bst";
+    make =
+      (fun heap ~threads ->
+        let module T = Rbst.Int in
+        let t = T.create heap ~threads in
+        let conv = function
+          | Ins k -> T.Insert k
+          | Del k -> T.Delete k
+          | Fnd k -> T.Find k
+        in
+        {
+          name = "tracking-bst";
+          insert = T.insert t;
+          delete = T.delete t;
+          find = T.find t;
+          recover = (fun op -> T.recover t (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> T.check_invariants t);
+          contents = (fun () -> T.to_list t);
+          supports_crash = true;
+        });
+  }
+
+let tracking_no_ro_opt =
+  {
+    fname = "tracking-noopt";
+    make =
+      (fun heap ~threads ->
+        let module L = Rlist.Int in
+        let l =
+          L.create ~prefix:"rlist-noopt" ~read_only_opt:false heap ~threads
+        in
+        let conv = function
+          | Ins k -> L.Insert k
+          | Del k -> L.Delete k
+          | Fnd k -> L.Find k
+        in
+        {
+          name = "tracking-noopt";
+          insert = L.insert l;
+          delete = L.delete l;
+          find = L.find l;
+          recover = (fun op -> L.recover l (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> L.check_invariants l);
+          contents = (fun () -> L.to_list l);
+          supports_crash = true;
+        });
+  }
+
+let tracking_hash =
+  {
+    fname = "tracking-hash";
+    make =
+      (fun heap ~threads ->
+        let module H = Rhash.Int in
+        let h = H.create ~buckets:16 heap ~threads in
+        let conv = function
+          | Ins k -> H.Insert k
+          | Del k -> H.Delete k
+          | Fnd k -> H.Find k
+        in
+        {
+          name = "tracking-hash";
+          insert = H.insert h;
+          delete = H.delete h;
+          find = H.find h;
+          recover = (fun op -> H.recover h (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> H.check_invariants h);
+          contents = (fun () -> List.sort compare (H.to_list h));
+          supports_crash = true;
+        });
+  }
+
+let capsules_factory name variant =
+  {
+    fname = name;
+    make =
+      (fun heap ~threads ->
+        let c = Capsules.create ~variant heap ~threads in
+        let conv = function
+          | Ins k -> Capsules.Ins k
+          | Del k -> Capsules.Del k
+          | Fnd k -> Capsules.Fnd k
+        in
+        {
+          name;
+          insert = Capsules.insert c;
+          delete = Capsules.delete c;
+          find = Capsules.find c;
+          recover = (fun op -> Capsules.recover c (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> Capsules.check_invariants c);
+          contents = (fun () -> Capsules.to_list c);
+          supports_crash = true;
+        });
+  }
+
+let capsules = capsules_factory "capsules" `General
+let capsules_opt = capsules_factory "capsules-opt" `Opt
+
+let romulus =
+  {
+    fname = "romulus";
+    make =
+      (fun heap ~threads ->
+        let r = Romulus.create heap ~threads in
+        let conv = function
+          | Ins k -> Romulus.Ins k
+          | Del k -> Romulus.Del k
+          | Fnd k -> Romulus.Fnd k
+        in
+        {
+          name = "romulus";
+          insert = Romulus.insert r;
+          delete = Romulus.delete r;
+          find = Romulus.find r;
+          recover = (fun op -> Romulus.recover r (conv op));
+          recover_structure = (fun () -> Romulus.recover_structure r);
+          check = (fun () -> Romulus.check_invariants r);
+          contents = (fun () -> Romulus.to_list r);
+          supports_crash = true;
+        });
+  }
+
+let redo =
+  {
+    fname = "redo-opt";
+    make =
+      (fun heap ~threads ->
+        let r = Redo.create heap ~threads in
+        let conv = function
+          | Ins k -> Redo.Ins k
+          | Del k -> Redo.Del k
+          | Fnd k -> Redo.Fnd k
+        in
+        {
+          name = "redo-opt";
+          insert = Redo.insert r;
+          delete = Redo.delete r;
+          find = Redo.find r;
+          recover = (fun op -> Redo.recover r (conv op));
+          recover_structure = (fun () -> Redo.recover_structure r);
+          check = (fun () -> Redo.check_invariants r);
+          contents = (fun () -> Redo.to_list r);
+          supports_crash = true;
+        });
+  }
+
+let harris_volatile =
+  {
+    fname = "harris";
+    make =
+      (fun heap ~threads:_ ->
+        let l = Harris.create heap in
+        {
+          name = "harris";
+          insert = Harris.insert l;
+          delete = Harris.delete l;
+          find = Harris.find l;
+          recover =
+            (fun _ -> invalid_arg "harris: volatile list cannot recover");
+          recover_structure = (fun () -> ());
+          check = (fun () -> Harris.check_invariants l);
+          contents = (fun () -> Harris.to_list l);
+          supports_crash = false;
+        });
+  }
+
+let all =
+  [
+    tracking;
+    capsules;
+    capsules_opt;
+    romulus;
+    redo;
+    harris_volatile;
+    tracking_bst;
+    tracking_no_ro_opt;
+    tracking_hash;
+  ]
+
+let by_name n =
+  List.find_opt (fun f -> String.equal f.fname n) all

@@ -1,0 +1,50 @@
+(** The uniform recoverable-set interface under which the harness drives
+    every evaluated implementation (paper §5): Tracking, Capsules,
+    Capsules-Opt, Romulus, RedoOpt, plus the volatile Harris list as the
+    persistence-free yardstick. *)
+
+type op = Ins of int | Del of int | Fnd of int
+
+val op_key : op -> int
+val pp_op : Format.formatter -> op -> unit
+
+(** One live instance, closed over its heap and thread count. *)
+type t = {
+  name : string;
+  insert : int -> bool;
+  delete : int -> bool;
+  find : int -> bool;
+  recover : op -> bool;
+      (** detectable recovery of the calling thread's crashed op *)
+  recover_structure : unit -> unit;
+      (** single-threaded post-crash repair (Romulus restore, Redo log
+          replay); a no-op for the lock-free algorithms *)
+  check : unit -> (unit, string) result;
+  contents : unit -> int list;
+  supports_crash : bool;
+      (** whether crash campaigns may include this implementation *)
+}
+
+val apply : t -> op -> bool
+
+type factory = { fname : string; make : Pmem.heap -> threads:int -> t }
+
+val tracking : factory
+val tracking_bst : factory
+(** The Tracking transformation applied to the external BST (§6) — an
+    extension beyond the paper's list-only evaluation. *)
+
+val tracking_no_ro_opt : factory
+(** Tracking without the read-only optimization (ablation). *)
+
+val tracking_hash : factory
+(** Hash map composed of per-bucket Tracking lists (extension). *)
+
+val capsules : factory
+val capsules_opt : factory
+val romulus : factory
+val redo : factory
+val harris_volatile : factory
+
+val all : factory list
+val by_name : string -> factory option

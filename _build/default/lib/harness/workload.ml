@@ -1,0 +1,30 @@
+type mix = { name : string; find_pct : int }
+
+let read_intensive = { name = "read-intensive"; find_pct = 70 }
+let update_intensive = { name = "update-intensive"; find_pct = 30 }
+
+let mix_of_find_pct p =
+  if p < 0 || p > 100 then invalid_arg "mix_of_find_pct";
+  { name = Printf.sprintf "%d%%-finds" p; find_pct = p }
+
+type config = {
+  mix : mix;
+  key_range : int;
+  prefill_n : int;
+}
+
+let default mix = { mix; key_range = 500; prefill_n = 250 }
+
+let gen_op rng cfg =
+  let k = 1 + Random.State.int rng cfg.key_range in
+  let r = Random.State.int rng 100 in
+  if r < cfg.mix.find_pct then Set_intf.Fnd k
+  else if r - cfg.mix.find_pct < (100 - cfg.mix.find_pct) / 2 then
+    Set_intf.Ins k
+  else Set_intf.Del k
+
+let prefill rng cfg algo =
+  for _ = 1 to cfg.prefill_n do
+    let k = 1 + Random.State.int rng cfg.key_range in
+    ignore (algo.Set_intf.insert k : bool)
+  done

@@ -1,0 +1,26 @@
+(** Workload generation matching the paper's benchmarks (§5): keys chosen
+    uniformly at random from [\[1, key_range\]]; the list prefilled with
+    [prefill_n] random inserts (250 for range 500 gives the ~40%-full
+    list); read-intensive = 70% finds, update-intensive = 30% finds, the
+    remainder split evenly between inserts and deletes. *)
+
+type mix = { name : string; find_pct : int }
+
+val read_intensive : mix
+val update_intensive : mix
+val mix_of_find_pct : int -> mix
+
+type config = {
+  mix : mix;
+  key_range : int;  (** keys drawn uniformly from [1, key_range] *)
+  prefill_n : int;
+}
+
+val default : mix -> config
+(** key_range 500, prefill 250, as in the paper's main figures. *)
+
+val gen_op : Random.State.t -> config -> Set_intf.op
+
+val prefill : Random.State.t -> config -> Set_intf.t -> unit
+(** Perform [prefill_n] random inserts (duplicates allowed, as in the
+    paper, so the list ends up ~40% full). *)

@@ -1,0 +1,1 @@
+lib/nvm/cost.ml: Fun

@@ -1,0 +1,1 @@
+lib/nvm/pmem.ml: Array Cost Float List Printf Pstats Queue Random Sim

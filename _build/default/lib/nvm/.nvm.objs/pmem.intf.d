@@ -1,0 +1,1 @@
+lib/nvm/pmem.mli: Pstats Random

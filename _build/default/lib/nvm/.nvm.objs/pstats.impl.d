@@ -1,0 +1,1 @@
+lib/nvm/pstats.ml: Format Hashtbl List Printf

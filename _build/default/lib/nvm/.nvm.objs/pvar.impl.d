@@ -1,0 +1,1 @@
+lib/nvm/pvar.ml: Array Pmem Printf Pstats

@@ -1,0 +1,1 @@
+lib/nvm/pvar.mli: Pmem

@@ -1,0 +1,74 @@
+type t = {
+  mutable cache_hit : float;
+  mutable cache_miss : float;
+  mutable write_hit : float;
+  mutable write_miss : float;
+  mutable cas_base : float;
+  mutable cas_contended : float;
+  mutable pwb_issue : float;
+  mutable pwb_accept : float;
+  mutable pwb_latency : float;
+  mutable pwb_steal : float;
+  mutable pwb_shared : float;
+  mutable pwb_inflight_stall : float;
+  mutable pfence_base : float;
+  mutable psync_base : float;
+  mutable alloc : float;
+  mutable op_overhead : float;
+  mutable cas_drains_wb : bool;
+}
+
+(* Calibrated against published Optane DCPMM microbenchmarks: DRAM-class
+   cache behaviour, ~100-300ns flush-to-media, locked instructions an
+   order of magnitude above an L1 hit.  Only ratios matter for the shapes
+   we reproduce. *)
+let defaults () =
+  {
+    cache_hit = 1.5;
+    cache_miss = 42.0;
+    write_hit = 2.0;
+    write_miss = 55.0;
+    cas_base = 18.0;
+    cas_contended = 85.0;
+    pwb_issue = 14.0;
+    pwb_accept = 35.0;
+    pwb_latency = 170.0;
+    pwb_steal = 1600.0;
+    pwb_shared = 70.0;
+    pwb_inflight_stall = 300.0;
+    pfence_base = 4.0;
+    psync_base = 7.0;
+    alloc = 9.0;
+    op_overhead = 25.0;
+    cas_drains_wb = true;
+  }
+
+let current = defaults ()
+
+let assign dst src =
+  dst.cache_hit <- src.cache_hit;
+  dst.cache_miss <- src.cache_miss;
+  dst.write_hit <- src.write_hit;
+  dst.write_miss <- src.write_miss;
+  dst.cas_base <- src.cas_base;
+  dst.cas_contended <- src.cas_contended;
+  dst.pwb_issue <- src.pwb_issue;
+  dst.pwb_accept <- src.pwb_accept;
+  dst.pwb_latency <- src.pwb_latency;
+  dst.pwb_steal <- src.pwb_steal;
+  dst.pwb_shared <- src.pwb_shared;
+  dst.pwb_inflight_stall <- src.pwb_inflight_stall;
+  dst.pfence_base <- src.pfence_base;
+  dst.psync_base <- src.psync_base;
+  dst.alloc <- src.alloc;
+  dst.op_overhead <- src.op_overhead;
+  dst.cas_drains_wb <- src.cas_drains_wb
+
+let restore_defaults () = assign current (defaults ())
+
+let with_table tweak f =
+  let saved = { current with cache_hit = current.cache_hit } in
+  let table = defaults () in
+  tweak table;
+  assign current table;
+  Fun.protect ~finally:(fun () -> assign current saved) f

@@ -1,0 +1,317 @@
+exception Poisoned of string
+
+let max_threads = 62
+
+(* ---- machine-global state -------------------------------------------- *)
+
+type wb_entry =
+  | Apply of (unit -> unit)  (* complete this write-back *)
+  | Fence
+
+(* Per-thread queues of outstanding write-backs (the store buffer /
+   write-pending queue).  Global, like real hardware: one per CPU, not
+   per allocation region. *)
+let pending : wb_entry Queue.t array =
+  Array.init max_threads (fun _ -> Queue.create ())
+
+(* Latest acceptance deadline among a thread's outstanding write-backs:
+   with ADR, acceptance by the write-pending queue is the persistence
+   point, so fences and draining CASes wait for acceptance only. *)
+let wb_deadline : float array = Array.make max_threads neg_infinity
+
+let reset_pending () =
+  Array.iter Queue.clear pending;
+  Array.fill wb_deadline 0 max_threads neg_infinity
+
+let cur_tid () = if Sim.in_sim () then Sim.tid () else 0
+let cur_now () = if Sim.in_sim () then Sim.now () else 0.
+
+let check_tid tid =
+  if tid < 0 || tid >= max_threads then
+    invalid_arg (Printf.sprintf "Pmem: thread id %d out of range" tid)
+
+(* ---- heaps, lines, fields -------------------------------------------- *)
+
+type heap = {
+  hname : string;
+  track : bool;
+  mutable resets : (unit -> unit) list;
+  mutable metas : (unit -> unit) list;  (* clear cache metadata on crash *)
+  mutable n_lines : int;
+}
+
+type line = {
+  lheap : heap;
+  lname : string;
+  mutable sharers : int;  (* bitmap of tids with a cached copy *)
+  mutable owner : int;  (* tid that last took write ownership *)
+  mutable wb_owner : int;  (* tid with an in-flight write-back; -1 = none *)
+  mutable wb_until : float;  (* completion time of that write-back *)
+  mutable persists : (unit -> unit) list;
+      (* one per field: write back the field's current value.  Write-backs
+         materialize the line's coherent content at completion time (like
+         CLWB), never an issue-time snapshot — per-location durable state
+         can only move forward. *)
+}
+
+type 'a persisted = Never | P of 'a
+
+type 'a t = {
+  line : line;
+  mutable v : 'a;
+  mutable durable : 'a persisted;
+  mutable poisoned : bool;
+}
+
+let heap ?(track_for_crash = true) ?(name = "heap") () =
+  { hname = name; track = track_for_crash; resets = []; metas = []; n_lines = 0 }
+
+let lines_allocated h = h.n_lines
+
+let new_line ?(name = "line") h =
+  h.n_lines <- h.n_lines + 1;
+  let line =
+    {
+      lheap = h;
+      lname = name;
+      sharers = 0;
+      owner = -1;
+      wb_owner = -1;
+      wb_until = neg_infinity;
+      persists = [];
+    }
+  in
+  if h.track then
+    h.metas <-
+      (fun () ->
+        line.sharers <- 0;
+        line.owner <- -1;
+        line.wb_owner <- -1;
+        line.wb_until <- neg_infinity)
+      :: h.metas;
+  Sim.step Cost.current.alloc;
+  line
+
+let line_name l = l.lname
+
+let on_line line v =
+  let fld = { line; v; durable = Never; poisoned = false } in
+  line.persists <- (fun () -> fld.durable <- P fld.v) :: line.persists;
+  let h = line.lheap in
+  if h.track then
+    h.resets <-
+      (fun () ->
+        match fld.durable with
+        | P p ->
+            fld.v <- p;
+            fld.poisoned <- false
+        | Never -> fld.poisoned <- true)
+      :: h.resets;
+  fld
+
+let alloc ?name h v = on_line (new_line ?name h) v
+let line_of fld = fld.line
+
+let bit tid = 1 lsl tid
+
+let check fld =
+  if fld.poisoned then raise (Poisoned fld.line.lname)
+
+(* ---- volatile accesses with the coherence cost model ----------------- *)
+
+let read fld =
+  check fld;
+  let tid = cur_tid () in
+  check_tid tid;
+  let line = fld.line in
+  let c = Cost.current in
+  let hit = line.sharers land bit tid <> 0 in
+  line.sharers <- line.sharers lor bit tid;
+  Sim.step (if hit then c.cache_hit else c.cache_miss);
+  fld.v
+
+let take_ownership line tid =
+  line.owner <- tid;
+  line.sharers <- bit tid
+
+let write fld v =
+  check fld;
+  let tid = cur_tid () in
+  check_tid tid;
+  let line = fld.line in
+  let c = Cost.current in
+  let exclusive = line.owner = tid && line.sharers = bit tid in
+  take_ownership line tid;
+  Sim.step (if exclusive then c.write_hit else c.write_miss);
+  fld.v <- v
+
+(* Complete (persist) every outstanding write-back of [tid]. *)
+let drain_queue tid =
+  let q = pending.(tid) in
+  while not (Queue.is_empty q) do
+    match Queue.pop q with Apply f -> f () | Fence -> ()
+  done;
+  wb_deadline.(tid) <- neg_infinity
+
+let cas fld expected desired =
+  check fld;
+  let tid = cur_tid () in
+  check_tid tid;
+  let line = fld.line in
+  let c = Cost.current in
+  let now = cur_now () in
+  let base = if line.owner = tid then c.cas_base else c.cas_contended in
+  (* Store serialization: a locked instruction waits for an in-flight
+     write-back of the same line (the pwb-then-CAS pathology of §5)... *)
+  let line_stall =
+    if line.wb_owner >= 0 && line.wb_until > now then line.wb_until -. now
+    else 0.
+  in
+  (* ...and, on Intel, for the whole store buffer, completing the
+     thread's own outstanding write-backs as a side effect. *)
+  let drain_stall =
+    if c.cas_drains_wb then begin
+      let stall = Float.max 0. (wb_deadline.(tid) -. now) in
+      drain_queue tid;
+      stall
+    end
+    else 0.
+  in
+  take_ownership line tid;
+  if line.wb_owner >= 0 && line.wb_until <= now then begin
+    line.wb_owner <- -1;
+    line.wb_until <- neg_infinity
+  end;
+  Sim.step (base +. Float.max line_stall drain_stall);
+  if fld.v == expected then begin
+    fld.v <- desired;
+    true
+  end
+  else false
+
+(* ---- persistence instructions ----------------------------------------- *)
+
+(* The impact class of a pwb is determined by who last wrote the line:
+
+   - flushing a line this thread itself wrote last, with nobody else
+     caching it, is the cheap private/fresh case (Tracking's CP, RD,
+     descriptor and new-node flushes);
+   - flushing an own-written line that other threads also cache costs a
+     bit more (Tracking's post-CAS flushes of list nodes);
+   - flushing a line another thread wrote last requires a coherence fetch
+     of foreign data plus an uncombinable media write — the paper's
+     high-impact pwbs (Capsules-Opt's marked-node and target-neighborhood
+     flushes; nearly every flush of the general transformation). *)
+let classify line tid now =
+  if line.wb_owner >= 0 && line.wb_owner <> tid && line.wb_until > now then
+    Pstats.High
+  else if line.owner >= 0 && line.owner <> tid then Pstats.High
+  else if line.sharers land lnot (bit tid) <> 0 then Pstats.Medium
+  else Pstats.Low
+
+let pwb site line =
+  if Pstats.enabled site then begin
+    let tid = cur_tid () in
+    check_tid tid;
+    let c = Cost.current in
+    let now = cur_now () in
+    Pstats.record site (classify line tid now);
+    (* Flushing a line that is dirty in another cache, or that already has
+       an in-flight write-back from another thread, pays the ping-pong
+       penalty the paper associates with high-impact pwbs. *)
+    let stall =
+      if line.wb_owner >= 0 && line.wb_owner <> tid && line.wb_until > now
+      then (line.wb_until -. now) +. c.pwb_inflight_stall
+      else if line.owner >= 0 && line.owner <> tid then
+        (* last written by another core: steal it before writing back *)
+        c.pwb_steal
+      else if line.sharers land lnot (bit tid) <> 0 then c.pwb_shared
+      else 0.
+    in
+    let q = pending.(tid) in
+    (* Bound the queue like a real write-pending queue: the oldest entry
+       has certainly completed once the queue is deep. *)
+    if Queue.length q > 64 then begin
+      match Queue.pop q with Apply f -> f () | Fence -> ()
+    end;
+    Queue.push (Apply (fun () -> List.iter (fun f -> f ()) line.persists)) q;
+    (* the line's media write-back completes late (contention stalls),
+       but the persistence point — acceptance — is much earlier *)
+    line.wb_owner <- tid;
+    line.wb_until <- now +. c.pwb_latency;
+    let accepted = now +. c.pwb_accept in
+    if accepted > wb_deadline.(tid) then wb_deadline.(tid) <- accepted;
+    Sim.step (c.pwb_issue +. stall)
+  end
+
+let pwb_f site fld = pwb site fld.line
+
+let pfence site =
+  if Pstats.enabled site then begin
+    let tid = cur_tid () in
+    check_tid tid;
+    Pstats.record_fence site;
+    Queue.push Fence pending.(tid);
+    Sim.step Cost.current.pfence_base
+  end
+
+let psync site =
+  if Pstats.enabled site then begin
+    let tid = cur_tid () in
+    check_tid tid;
+    Pstats.record_fence site;
+    let now = cur_now () in
+    let stall = Float.max 0. (wb_deadline.(tid) -. now) in
+    drain_queue tid;
+    Sim.step (Cost.current.psync_base +. stall)
+  end
+
+(* ---- crashes ----------------------------------------------------------- *)
+
+let resolve_queue_at_crash rng q =
+  match rng with
+  | None -> Queue.clear q
+  | Some rng ->
+      (* Fence-delimited segments complete in order: some prefix of
+         segments completed fully, the next one partially (an arbitrary
+         in-order subset), everything later not at all. *)
+      let fresh_mode () =
+        if Random.State.bool rng then `Full
+        else if Random.State.bool rng then `Partial
+        else `Drop
+      in
+      let mode = ref (fresh_mode ()) in
+      while not (Queue.is_empty q) do
+        match Queue.pop q with
+        | Fence -> (
+            match !mode with
+            | `Full -> mode := fresh_mode ()
+            | `Partial | `Drop -> mode := `Drop)
+        | Apply f -> (
+            match !mode with
+            | `Full -> f ()
+            | `Partial -> if Random.State.bool rng then f ()
+            | `Drop -> ())
+      done
+
+let crash ?rng h =
+  Array.iter (resolve_queue_at_crash rng) pending;
+  Array.fill wb_deadline 0 max_threads neg_infinity;
+  List.iter (fun f -> f ()) h.resets;
+  List.iter (fun f -> f ()) h.metas
+
+(* ---- introspection ----------------------------------------------------- *)
+
+let system_persist fld v =
+  check fld;
+  fld.v <- v;
+  fld.durable <- P v;
+  Sim.step 0.
+
+let peek fld = fld.v
+let peek_persisted fld = match fld.durable with Never -> None | P p -> Some p
+let is_poisoned fld = fld.poisoned
+
+let outstanding_writebacks tid =
+  check_tid tid;
+  Queue.fold (fun n e -> match e with Apply _ -> n + 1 | Fence -> n) 0 pending.(tid)

@@ -1,0 +1,112 @@
+(** Simulated byte-addressable non-volatile main memory with volatile
+    caches, under explicit epoch persistency (paper §2):
+
+    - {!pwb} issues an asynchronous write-back of a whole cache line;
+    - {!pfence} orders preceding pwbs before subsequent ones;
+    - {!psync} waits until all of the calling thread's write-backs reach
+      the persistence domain;
+    - a CAS additionally drains the thread's outstanding write-backs when
+      {!Cost.t.cas_drains_wb} is set, modelling the Intel store-buffer
+      behaviour the paper identifies as the reason psync is nearly free.
+
+    Fields ({!type-t}) live on cache lines ({!type-line}); a line is the unit
+    of coherence, of flushing, and of the low/medium/high classification
+    of each executed pwb.  On {!crash}, every field reverts to its last
+    persisted value; fields that were never persisted become {e poisoned}
+    and fault on access, which is how missing-flush bugs surface.
+
+    All accesses are single simulator steps, so they are atomic w.r.t.
+    the interleaving — exactly the granularity of the paper's model
+    (atomic read / write / CAS base objects). *)
+
+exception Poisoned of string
+(** Raised when reading or updating a field whose content was lost in a
+    crash before ever being persisted. *)
+
+val max_threads : int
+(** Maximum logical threads supported by the sharer bitmaps (62). *)
+
+(** {1 Heaps} *)
+
+type heap
+(** An allocation region: the set of lines reset together by {!crash}. *)
+
+val heap : ?track_for_crash:bool -> ?name:string -> unit -> heap
+(** [track_for_crash] (default true) records a reset closure per field so
+    {!crash} can restore it; disable for long throughput runs that never
+    crash, to avoid unbounded growth. *)
+
+val crash : ?rng:Random.State.t -> heap -> unit
+(** System-wide crash: outstanding write-backs of {e all} threads are
+    resolved — with [rng], each pfence-delimited segment may complete
+    fully, partially (a random subset, in issue order) or not at all,
+    respecting fence ordering; without [rng], all outstanding write-backs
+    are dropped (the harshest adversary).  Then every tracked field of
+    [heap] reverts to its persisted value or becomes poisoned, and all
+    cache metadata is cleared. *)
+
+val lines_allocated : heap -> int
+
+(** {1 Lines and fields} *)
+
+type line
+
+val new_line : ?name:string -> heap -> line
+(** Allocate a fresh cache line (charged {!Cost.t.alloc}). *)
+
+val line_name : line -> string
+
+type 'a t
+(** A field of type ['a] residing on some line. *)
+
+val on_line : line -> 'a -> 'a t
+(** Add a field to a line.  The initial content is volatile: it is lost by
+    a crash unless the line was flushed (exactly like a freshly allocated
+    node on real NVMM). *)
+
+val alloc : ?name:string -> heap -> 'a -> 'a t
+(** [alloc h v] = a fresh field on its own fresh line. *)
+
+val line_of : 'a t -> line
+
+(** {1 Accesses (volatile, cache-modelled)} *)
+
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+
+val cas : 'a t -> 'a -> 'a -> bool
+(** Compare-and-swap using physical equality, like hardware CAS on a
+    pointer.  Fresh allocations guarantee ABA-freedom, matching the
+    paper's assumption that the same value is never stored twice. *)
+
+(** {1 Persistence instructions} *)
+
+val pwb : Pstats.site -> line -> unit
+val pwb_f : Pstats.site -> 'a t -> unit
+(** Flush the line holding this field. *)
+
+val pfence : Pstats.site -> unit
+val psync : Pstats.site -> unit
+
+(** {1 Introspection (tests and harness)} *)
+
+val peek : 'a t -> 'a
+(** Volatile value, no cost charged, no cache effect. *)
+
+val peek_persisted : 'a t -> 'a option
+(** Last persisted value; [None] if never persisted. *)
+
+val is_poisoned : 'a t -> bool
+
+val system_persist : 'a t -> 'a -> unit
+(** Atomically (in one simulator step) write and persist a field, free of
+    charge and uncounted.  This models {e system support}: state the
+    runtime maintains durably on the thread's behalf, such as setting
+    [CP_q := 0] just before an operation starts (paper §2, footnote 1).
+    Not available to algorithms for their own data. *)
+
+val outstanding_writebacks : int -> int
+(** Number of pending (unsynced) write-back entries of a thread. *)
+
+val reset_pending : unit -> unit
+(** Drop all pending write-backs of all threads (between experiments). *)

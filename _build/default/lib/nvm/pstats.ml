@@ -1,0 +1,116 @@
+type kind = Pwb | Pfence | Psync
+type category = Low | Medium | High
+
+type site = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable enabled : bool;
+  mutable n_low : int;
+  mutable n_medium : int;
+  mutable n_high : int;
+  mutable n_fence : int;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 64
+let ordered : site list ref = ref []
+let next_id = ref 0
+
+let make kind name =
+  match Hashtbl.find_opt registry name with
+  | Some s ->
+      if s.kind <> kind then
+        invalid_arg (Printf.sprintf "Pstats.make: site %S re-registered with a different kind" name);
+      s
+  | None ->
+      let s =
+        {
+          id = !next_id;
+          name;
+          kind;
+          enabled = true;
+          n_low = 0;
+          n_medium = 0;
+          n_high = 0;
+          n_fence = 0;
+        }
+      in
+      incr next_id;
+      Hashtbl.add registry name s;
+      ordered := s :: !ordered;
+      s
+
+let name s = s.name
+let kind s = s.kind
+let enabled s = s.enabled
+let set_enabled s b = s.enabled <- b
+let sites () = List.rev !ordered
+
+let set_all_enabled b = List.iter (fun s -> s.enabled <- b) (sites ())
+
+let set_kind_enabled k b =
+  List.iter (fun s -> if s.kind = k then s.enabled <- b) (sites ())
+
+let record s cat =
+  match cat with
+  | Low -> s.n_low <- s.n_low + 1
+  | Medium -> s.n_medium <- s.n_medium + 1
+  | High -> s.n_high <- s.n_high + 1
+
+let record_fence s = s.n_fence <- s.n_fence + 1
+
+type totals = {
+  pwbs : int;
+  pfences : int;
+  psyncs : int;
+  low : int;
+  medium : int;
+  high : int;
+}
+
+let totals () =
+  List.fold_left
+    (fun acc s ->
+      match s.kind with
+      | Pwb ->
+          let n = s.n_low + s.n_medium + s.n_high in
+          {
+            acc with
+            pwbs = acc.pwbs + n;
+            low = acc.low + s.n_low;
+            medium = acc.medium + s.n_medium;
+            high = acc.high + s.n_high;
+          }
+      | Pfence -> { acc with pfences = acc.pfences + s.n_fence }
+      | Psync -> { acc with psyncs = acc.psyncs + s.n_fence })
+    { pwbs = 0; pfences = 0; psyncs = 0; low = 0; medium = 0; high = 0 }
+    (sites ())
+
+let reset () =
+  List.iter
+    (fun s ->
+      s.n_low <- 0;
+      s.n_medium <- 0;
+      s.n_high <- 0;
+      s.n_fence <- 0)
+    (sites ())
+
+let classify s =
+  if s.kind <> Pwb then None
+  else if s.n_low = 0 && s.n_medium = 0 && s.n_high = 0 then None
+  else if s.n_high >= s.n_medium && s.n_high >= s.n_low then Some High
+  else if s.n_medium >= s.n_low then Some Medium
+  else Some Low
+
+let set_category_enabled ~classification cat b =
+  List.iter
+    (fun s ->
+      if s.kind = Pwb && classification s = Some cat then s.enabled <- b)
+    (sites ())
+
+let site_counts s = (s.n_low, s.n_medium, s.n_high)
+
+let pp_category ppf = function
+  | Low -> Format.pp_print_string ppf "low"
+  | Medium -> Format.pp_print_string ppf "medium"
+  | High -> Format.pp_print_string ppf "high"

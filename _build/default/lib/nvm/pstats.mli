@@ -1,0 +1,61 @@
+(** Persistence-instruction accounting, following the paper's methodology
+    (§5): every pwb/pfence/psync in the source is a named {e site} (a code
+    line).  Sites can be disabled individually or by category to rebuild
+    the paper's persistence-free, no-psync, and category-removal variants,
+    and every executed pwb is classified by the memory model into the
+    paper's low / medium / high impact categories based on the sharing
+    state of the flushed cache line. *)
+
+type kind = Pwb | Pfence | Psync
+
+type category = Low | Medium | High
+
+type site
+
+val make : kind -> string -> site
+(** [make kind name] registers (or returns the existing) site.  Sites are
+    global and keyed by name; create them once at module toplevel. *)
+
+val name : site -> string
+val kind : site -> kind
+
+val enabled : site -> bool
+val set_enabled : site -> bool -> unit
+
+val set_all_enabled : bool -> unit
+val set_kind_enabled : kind -> bool -> unit
+(** Enable/disable every site of a kind (e.g. all psyncs, as in Figs 3c/4c). *)
+
+val set_category_enabled : classification:(site -> category option) -> category -> bool -> unit
+(** Enable/disable all pwb sites whose classification matches, as in the
+    category-removal experiments (Figs 3f/4f/5/6). *)
+
+val record : site -> category -> unit
+(** Count one executed pwb at [site] with its observed impact category. *)
+
+val record_fence : site -> unit
+(** Count one executed pfence or psync. *)
+
+type totals = {
+  pwbs : int;
+  pfences : int;
+  psyncs : int;
+  low : int;
+  medium : int;
+  high : int;
+}
+
+val totals : unit -> totals
+val reset : unit -> unit
+
+val classify : site -> category option
+(** Majority observed category of a pwb site since the last {!reset};
+    [None] if the site never executed or is not a pwb. *)
+
+val sites : unit -> site list
+(** All registered sites, in registration order. *)
+
+val site_counts : site -> int * int * int
+(** Per-site (low, medium, high) execution counts since last {!reset}. *)
+
+val pp_category : Format.formatter -> category -> unit

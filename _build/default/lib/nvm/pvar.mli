@@ -1,0 +1,17 @@
+(** Per-thread private persistent variables, such as the check-point
+    [CP_q] and recovery-data [RD_q] variables of the paper (§2–3).  Each
+    thread's variable lives on its own cache line, so flushing it is the
+    cheap, uncontended kind of pwb the paper classifies as low-impact. *)
+
+type 'a t
+
+val make : ?name:string -> Pmem.heap -> threads:int -> 'a -> 'a t
+(** One private persistent cell per thread, all initialized (volatilely)
+    to the given value and immediately flushed, since the system is
+    assumed to install them before any operation runs. *)
+
+val cell : 'a t -> int -> 'a Pmem.t
+(** The calling thread passes its own id; accessing another thread's cell
+    is allowed (recovery inspection) but pays coherence costs. *)
+
+val threads : 'a t -> int

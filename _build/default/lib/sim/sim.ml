@@ -1,0 +1,259 @@
+exception Crashed
+exception Step_limit
+
+type outcome =
+  | All_done
+  | Crashed_at of int
+
+type status = Done | Suspended
+
+type fiber =
+  | Thunk of (unit -> status)
+  | Cont of (unit, status) Effect.Deep.continuation
+
+type engine = {
+  policy : [ `Perf | `Random ];
+  rng : Random.State.t;
+  clocks : float array;
+  (* Min-heap of (clock, insertion seq, slot) for the perf policy; the
+     race policy picks uniformly from the same array. *)
+  mutable ready : (float * int * int) array;
+  mutable ready_len : int;
+  mutable slots : (int * fiber) option array;
+  mutable free_slots : int list;
+  mutable seq : int;
+  mutable steps : int;
+  crash_at : int; (* -1 = never *)
+  step_limit : int; (* -1 = unlimited *)
+  mutable crashing : bool;
+}
+
+type ctx = {
+  ctid : int;
+  engine : engine;
+  mutable pending_cost : float; (* perf-mode batched cost not yet yielded *)
+  mutable since_yield : int;
+}
+
+let current : ctx option ref = ref None
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* ---- ready-queue operations ----------------------------------------- *)
+
+let entry_lt (c1, s1, _) (c2, s2, _) = c1 < c2 || (c1 = c2 && s1 < s2)
+
+let heap_push e entry =
+  let n = e.ready_len in
+  if n = Array.length e.ready then begin
+    let bigger = Array.make (max 8 (2 * n)) (0., 0, 0) in
+    Array.blit e.ready 0 bigger 0 n;
+    e.ready <- bigger
+  end;
+  e.ready.(n) <- entry;
+  e.ready_len <- n + 1;
+  if e.policy = `Perf then begin
+    let a = e.ready in
+    let i = ref n in
+    while !i > 0 && entry_lt a.(!i) a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = a.(p) in
+      a.(p) <- a.(!i);
+      a.(!i) <- tmp;
+      i := p
+    done
+  end
+
+let heap_pop_min e =
+  let a = e.ready in
+  let n = e.ready_len in
+  assert (n > 0);
+  let top = a.(0) in
+  e.ready_len <- n - 1;
+  if n > 1 then begin
+    a.(0) <- a.(n - 1);
+    let i = ref 0 in
+    let continue_sift = ref true in
+    while !continue_sift do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < e.ready_len && entry_lt a.(l) a.(!m) then m := l;
+      if r < e.ready_len && entry_lt a.(r) a.(!m) then m := r;
+      if !m = !i then continue_sift := false
+      else begin
+        let tmp = a.(!m) in
+        a.(!m) <- a.(!i);
+        a.(!i) <- tmp;
+        i := !m
+      end
+    done
+  end;
+  top
+
+let pop_random e =
+  let n = e.ready_len in
+  assert (n > 0);
+  let i = Random.State.int e.rng n in
+  let entry = e.ready.(i) in
+  e.ready.(i) <- e.ready.(n - 1);
+  e.ready_len <- n - 1;
+  entry
+
+let enqueue e tid fiber =
+  let slot =
+    match e.free_slots with
+    | s :: rest ->
+        e.free_slots <- rest;
+        s
+    | [] ->
+        let s = Array.length e.slots in
+        let bigger = Array.make (max 8 (2 * s)) None in
+        Array.blit e.slots 0 bigger 0 s;
+        e.slots <- bigger;
+        e.free_slots <- List.init (s - 1) (fun i -> s + 1 + i);
+        s
+  in
+  e.slots.(slot) <- Some (tid, fiber);
+  e.seq <- e.seq + 1;
+  heap_push e (e.clocks.(tid), e.seq, slot)
+
+let dequeue e =
+  let _, _, slot = if e.policy = `Perf then heap_pop_min e else pop_random e in
+  match e.slots.(slot) with
+  | None -> assert false
+  | Some pair ->
+      e.slots.(slot) <- None;
+      e.free_slots <- slot :: e.free_slots;
+      pair
+
+(* ---- public accessors ------------------------------------------------ *)
+
+let in_sim () = !current <> None
+
+let ctx_exn () =
+  match !current with
+  | Some c -> c
+  | None -> failwith "Sim: not inside a simulated run"
+
+let tid () = (ctx_exn ()).ctid
+
+let now () =
+  let c = ctx_exn () in
+  c.engine.clocks.(c.ctid) +. c.pending_cost
+
+let random_state () = (ctx_exn ()).engine.rng
+let steps_executed () = match !current with Some c -> c.engine.steps | None -> 0
+
+let advance cost =
+  match !current with
+  | None -> ()
+  | Some c -> c.pending_cost <- c.pending_cost +. cost
+
+(* In perf mode, cheap cache-hit accesses are batched: the clock advances
+   but a scheduling point is only offered every [yield_stride] accesses or
+   when the access was expensive.  Race mode always offers a switch so
+   interleavings stay maximally adversarial. *)
+let yield_stride = 16
+let expensive_threshold = 10.0
+
+let step cost =
+  match !current with
+  | None -> ()
+  | Some c ->
+      c.pending_cost <- c.pending_cost +. cost;
+      c.since_yield <- c.since_yield + 1;
+      let must_switch =
+        match c.engine.policy with
+        | `Random -> true
+        | `Perf -> cost >= expensive_threshold || c.since_yield >= yield_stride
+      in
+      if must_switch then begin
+        c.since_yield <- 0;
+        Effect.perform Yield
+      end
+
+let request_crash () =
+  let c = ctx_exn () in
+  c.engine.crashing <- true;
+  raise Crashed
+
+(* ---- the driver ------------------------------------------------------ *)
+
+let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
+    bodies =
+  if in_sim () then failwith "Sim.run: nested runs are not supported";
+  let n = Array.length bodies in
+  let e =
+    {
+      policy;
+      rng = Random.State.make [| seed; 0x51ED; n |];
+      clocks = Array.make (max n 1) 0.;
+      ready = Array.make (max 8 (2 * n)) (0., 0, 0);
+      ready_len = 0;
+      slots = Array.make (max 8 (2 * n)) None;
+      free_slots = List.init (max 8 (2 * n)) Fun.id;
+      seq = 0;
+      steps = 0;
+      crash_at;
+      step_limit;
+      crashing = false;
+    }
+  in
+  let contexts =
+    Array.init n (fun i ->
+        { ctid = i; engine = e; pending_cost = 0.; since_yield = 0 })
+  in
+  let handler i : (unit, status) Effect.Deep.handler =
+    {
+      retc = (fun () -> Done);
+      exnc = (fun exn -> match exn with Crashed -> Done | exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  let c = contexts.(i) in
+                  e.clocks.(i) <- e.clocks.(i) +. c.pending_cost;
+                  c.pending_cost <- 0.;
+                  e.steps <- e.steps + 1;
+                  if e.step_limit >= 0 && e.steps > e.step_limit then
+                    raise Step_limit;
+                  if e.crash_at >= 0 && e.steps >= e.crash_at then
+                    e.crashing <- true;
+                  if e.crashing then Effect.Deep.discontinue k Crashed
+                  else begin
+                    enqueue e i (Cont k);
+                    Suspended
+                  end)
+          | _ -> None);
+    }
+  in
+  let start i () = Effect.Deep.match_with (fun () -> bodies.(i) i) () (handler i) in
+  for i = 0 to n - 1 do
+    enqueue e i (Thunk (start i))
+  done;
+  let rec loop () =
+    if e.ready_len > 0 then begin
+      let i, fiber = dequeue e in
+      if e.crashing then begin
+        (match fiber with
+        | Thunk _ -> () (* never started: nothing volatile to unwind *)
+        | Cont k ->
+            current := Some contexts.(i);
+            ignore (Effect.Deep.discontinue k Crashed : status);
+            current := None);
+        loop ()
+      end
+      else begin
+        current := Some contexts.(i);
+        (match fiber with
+        | Thunk f -> ignore (f () : status)
+        | Cont k -> ignore (Effect.Deep.continue k () : status));
+        current := None;
+        loop ()
+      end
+    end
+  in
+  Fun.protect ~finally:(fun () -> current := None) loop;
+  if e.crashing then Crashed_at e.steps else All_done

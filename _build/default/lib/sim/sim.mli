@@ -1,0 +1,75 @@
+(** Deterministic discrete-event execution engine for simulated
+    multi-threaded runs on a single real core.
+
+    Each logical thread runs as an effect-handler fiber and owns a virtual
+    clock measured in nanoseconds.  Shared-memory primitives (implemented
+    in {!Nvm.Pmem}) charge virtual time through {!step}; the scheduler
+    always resumes a runnable fiber according to the active policy:
+
+    - [`Perf]: the fiber with the smallest virtual clock runs next, which
+      makes virtual time behave like wall-clock time on a machine with one
+      hardware thread per fiber.  Used for throughput experiments.
+    - [`Random]: uniformly random choice among runnable fibers (seeded),
+      ignoring clocks.  Used for correctness and crash-injection tests,
+      where adversarial interleavings matter more than timing.
+
+    A run may be interrupted by a crash, either at a preset global step
+    index or by a fiber calling {!request_crash}.  Crashed fibers are
+    discontinued with the {!Crashed} exception. *)
+
+exception Crashed
+(** Raised inside a fiber when a system-wide crash interrupts it. *)
+
+exception Step_limit
+(** Raised out of {!run} when the global step budget is exhausted —
+    a watchdog that turns livelocks into test failures. *)
+
+type outcome =
+  | All_done      (** every fiber ran to completion *)
+  | Crashed_at of int
+      (** a crash interrupted the run at this global step index *)
+
+val run :
+  ?policy:[ `Perf | `Random ] ->
+  ?seed:int ->
+  ?crash_at:int ->
+  ?step_limit:int ->
+  (int -> unit) array ->
+  outcome
+(** [run bodies] executes [bodies.(i) i] as logical thread [i] until all
+    complete or a crash triggers.  [crash_at] crashes the system at that
+    global step count (a step is one {!step} call); [step_limit] makes
+    the run raise {!Step_limit} beyond that many steps.  Nested runs are
+    not allowed. *)
+
+val in_sim : unit -> bool
+(** Whether the caller is executing inside a simulated fiber. *)
+
+val tid : unit -> int
+(** Logical thread id of the calling fiber.  @raise Failure outside a run. *)
+
+val now : unit -> float
+(** Virtual clock (ns) of the calling fiber.  @raise Failure outside a run. *)
+
+val step : float -> unit
+(** Charge [cost] virtual nanoseconds to the calling fiber and give the
+    scheduler a switch point.  No-op outside a run (real executions pay
+    real time instead). *)
+
+val advance : float -> unit
+(** Charge [cost] virtual nanoseconds without offering a switch point.
+    Used for latency that is attributed to the current fiber but is not a
+    shared-memory access (e.g. waiting for a write-back to complete). *)
+
+val request_crash : unit -> 'a
+(** Trigger a system-wide crash from inside a fiber: every live fiber,
+    including the caller, is discontinued with {!Crashed}. *)
+
+val random_state : unit -> Random.State.t
+(** The run's seeded RNG (for adversarial choices made by the memory
+    model, e.g. which outstanding write-backs survive a crash).
+    @raise Failure outside a run. *)
+
+val steps_executed : unit -> int
+(** Global steps executed so far in the current run (0 outside a run).
+    Useful for choosing crash points in campaigns. *)

@@ -1,0 +1,1 @@
+lib/structures/rbst.mli: Pmem

@@ -1,0 +1,1 @@
+lib/structures/rexchanger.ml: Array Pmem Pstats Pvar Sim

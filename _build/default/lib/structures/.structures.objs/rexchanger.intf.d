@@ -1,0 +1,1 @@
+lib/structures/rexchanger.mli: Pmem

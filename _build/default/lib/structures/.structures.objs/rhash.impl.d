@@ -1,0 +1,1 @@
+lib/structures/rhash.ml: Array Hashtbl List Rlist

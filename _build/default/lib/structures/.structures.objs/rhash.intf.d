@@ -1,0 +1,1 @@
+lib/structures/rhash.mli: Hashtbl Pmem Rlist

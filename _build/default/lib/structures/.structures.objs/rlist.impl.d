@@ -1,0 +1,1 @@
+lib/structures/rlist.ml: Array Desc Format Int List Pmem Pstats Sim Tracking

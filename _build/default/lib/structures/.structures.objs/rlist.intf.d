@@ -1,0 +1,1 @@
+lib/structures/rlist.mli: Pmem

@@ -1,0 +1,1 @@
+lib/structures/rqueue.ml: Array Desc Format List Pmem Pstats Sim Tracking

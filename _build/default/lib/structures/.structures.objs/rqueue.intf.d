@@ -1,0 +1,1 @@
+lib/structures/rqueue.mli: Pmem

@@ -1,0 +1,1 @@
+lib/structures/rstack.ml: Array Buffer Desc Format List Pmem Printf Pstats Sim Tracking

@@ -1,0 +1,1 @@
+lib/structures/rstack.mli: Pmem

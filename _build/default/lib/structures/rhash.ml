@@ -1,0 +1,62 @@
+module type KEY = sig
+  include Rlist.KEY
+
+  val hash : t -> int
+end
+
+module Make (K : KEY) = struct
+  module L = Rlist.Make (K)
+
+  type t = { buckets : L.t array }
+
+  type pending = Insert of K.t | Delete of K.t | Find of K.t
+
+  let create ?(prefix = "rhash") ?(buckets = 64) heap ~threads =
+    if buckets < 1 then invalid_arg "Rhash.create: bucket count";
+    {
+      buckets =
+        (* buckets share the persistence sites of one prefix: they are the
+           same code lines, executed on different bucket instances *)
+        Array.init buckets (fun _ -> L.create ~prefix heap ~threads);
+    }
+
+  let bucket t k =
+    t.buckets.((K.hash k land max_int) mod Array.length t.buckets)
+
+  let insert t k = L.insert (bucket t k) k
+  let delete t k = L.delete (bucket t k) k
+  let find t k = L.find (bucket t k) k
+
+  let conv = function
+    | Insert k -> (k, L.Insert k)
+    | Delete k -> (k, L.Delete k)
+    | Find k -> (k, L.Find k)
+
+  let apply t p =
+    let k, op = conv p in
+    L.apply (bucket t k) op
+
+  (* The pending operation names its key, the key names its bucket, and
+     the bucket holds this thread's check-point and recovery data for it. *)
+  let recover t p =
+    let k, op = conv p in
+    L.recover (bucket t k) op
+
+  let to_list t =
+    Array.to_list t.buckets |> List.concat_map L.to_list
+
+  let cardinal t = List.length (to_list t)
+
+  let check_invariants t =
+    Array.to_list t.buckets
+    |> List.fold_left
+         (fun acc b ->
+           match acc with Error _ -> acc | Ok () -> L.check_invariants b)
+         (Ok ())
+end
+
+module Int = Make (struct
+  include Rlist.Int_key
+
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Array Cost Pmem Printf Pstats Random Rlist Runner Set Set_intf Sim Stdlib Workload

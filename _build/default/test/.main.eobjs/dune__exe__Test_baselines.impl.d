@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Capsules List Oracle Pmem Random Redo Romulus Set Set_intf Sim Stdlib

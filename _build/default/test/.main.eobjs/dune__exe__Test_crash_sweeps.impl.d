@@ -1,0 +1,1 @@
+test/test_crash_sweeps.ml: Alcotest Array List Oracle Pmem Random Rbst Rhash Rlist Rqueue Rstack Set_intf Sim

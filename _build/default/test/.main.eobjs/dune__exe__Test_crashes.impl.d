@@ -1,0 +1,1 @@
+test/test_crashes.ml: Alcotest Crashes Fun List Pmem Random Rlist Set_intf Sim Workload

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cost Figures Int Linearize List Oracle Pmem Printf Pstats QCheck2 QCheck_alcotest Random Report Runner Set Set_intf Workload

@@ -1,0 +1,1 @@
+test/test_harris.ml: Alcotest Array Harris List Pmem Sim

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Format Linearize List Pmem Random Rbst Rlist Set_intf Sim

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Cost List Pmem Pstats QCheck2 QCheck_alcotest Random

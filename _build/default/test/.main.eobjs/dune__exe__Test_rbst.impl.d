@@ -1,0 +1,1 @@
+test/test_rbst.ml: Alcotest Array List Pmem Printf QCheck2 QCheck_alcotest Random Rbst Set Sim Stdlib

@@ -1,0 +1,1 @@
+test/test_rexchanger.ml: Alcotest Array List Pmem Printf Random Rexchanger Sim

@@ -1,0 +1,1 @@
+test/test_rhash.ml: Alcotest Array Crashes Fun Hashtbl List Pmem Random Rhash Set Set_intf Sim Stdlib String Workload

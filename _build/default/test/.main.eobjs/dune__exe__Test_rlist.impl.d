@@ -1,0 +1,1 @@
+test/test_rlist.ml: Alcotest Array List Pmem Printf QCheck2 QCheck_alcotest Random Rlist Set Sim Stdlib

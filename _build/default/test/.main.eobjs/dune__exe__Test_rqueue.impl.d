@@ -1,0 +1,1 @@
+test/test_rqueue.ml: Alcotest Array Hashtbl List Pmem Printf QCheck2 QCheck_alcotest Queue Random Rqueue Sim

@@ -1,0 +1,1 @@
+test/test_rstack.ml: Alcotest Array List Pmem Printf QCheck2 QCheck_alcotest Random Rstack Sim Stack

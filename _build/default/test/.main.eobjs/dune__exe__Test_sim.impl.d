@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun List Printf Sim

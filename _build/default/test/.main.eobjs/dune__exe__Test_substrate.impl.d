@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Cost Desc List Pmem Pstats Pvar

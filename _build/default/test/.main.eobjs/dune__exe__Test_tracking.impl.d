@@ -1,0 +1,1 @@
+test/test_tracking.ml: Alcotest Array Desc List Pmem Printf Pstats Random Sim Tracking

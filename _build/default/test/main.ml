@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "tracking_nvm"
+    [
+      ("sim", Test_sim.suite);
+      ("pmem", Test_pmem.suite);
+      ("substrate", Test_substrate.suite);
+      ("rlist", Test_rlist.suite);
+      ("rbst", Test_rbst.suite);
+      ("rqueue", Test_rqueue.suite);
+      ("rstack", Test_rstack.suite);
+      ("rhash", Test_rhash.suite);
+      ("rexchanger", Test_rexchanger.suite);
+      ("oracle", Test_oracle.suite);
+      ("linearize", Test_linearize.suite);
+      ("tracking-engine", Test_tracking.suite);
+      ("harness", Test_harness.suite);
+      ("harris", Test_harris.suite);
+      ("baselines", Test_baselines.suite);
+      ("crashes", Test_crashes.suite);
+      ("crash-sweeps", Test_crash_sweeps.suite);
+      ("ablations", Test_ablations.suite);
+    ]

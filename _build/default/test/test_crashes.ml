@@ -1,0 +1,155 @@
+(* Detectable-recovery campaigns (the paper's core guarantee): random
+   schedules, adversarial crash points and write-back resolution, full
+   recovery, oracle-checked responses — for every recoverable
+   implementation, plus dedicated Tracking recovery-path tests. *)
+
+let campaign f ~seeds ~threads ~ops ~max_crashes ~key_range =
+  let cfg =
+    Crashes.
+      {
+        factory = f;
+        threads;
+        ops_per_thread = ops;
+        workload =
+          { Workload.(default update_intensive) with key_range; prefill_n = key_range / 2 };
+        max_crashes;
+      }
+  in
+  match Crashes.run_campaign cfg ~seeds:(List.init seeds Fun.id) with
+  | Ok (n, o) ->
+      Alcotest.(check int) "all seeds ran" seeds n;
+      Alcotest.(check bool)
+        "some crashes actually happened" true (o.Crashes.crashes > 0)
+  | Error msg -> Alcotest.failf "%s: %s" f.Set_intf.fname msg
+
+let test_tracking_campaign () =
+  campaign Set_intf.tracking ~seeds:60 ~threads:4 ~ops:12 ~max_crashes:3
+    ~key_range:32
+
+let test_tracking_small_hot () =
+  (* tiny key range maximizes helping and tag conflicts across crashes *)
+  campaign Set_intf.tracking ~seeds:40 ~threads:6 ~ops:10 ~max_crashes:4
+    ~key_range:4
+
+let test_tracking_bst_campaign () =
+  campaign Set_intf.tracking_bst ~seeds:40 ~threads:4 ~ops:10 ~max_crashes:3
+    ~key_range:24
+
+let test_tracking_noopt_campaign () =
+  campaign Set_intf.tracking_no_ro_opt ~seeds:30 ~threads:4 ~ops:10
+    ~max_crashes:3 ~key_range:24
+
+let test_capsules_campaign () =
+  campaign Set_intf.capsules ~seeds:40 ~threads:4 ~ops:10 ~max_crashes:3
+    ~key_range:24
+
+let test_capsules_opt_campaign () =
+  campaign Set_intf.capsules_opt ~seeds:40 ~threads:4 ~ops:10 ~max_crashes:3
+    ~key_range:24
+
+let test_romulus_campaign () =
+  campaign Set_intf.romulus ~seeds:40 ~threads:4 ~ops:10 ~max_crashes:3
+    ~key_range:24
+
+let test_redo_campaign () =
+  campaign Set_intf.redo ~seeds:40 ~threads:4 ~ops:10 ~max_crashes:3
+    ~key_range:24
+
+(* Direct recovery-path tests for Tracking's Op-Recover (Algorithm 1). *)
+module L = Rlist.Int
+
+let test_recover_completed_update_returns_same () =
+  (* Crash after completion but before the caller could record the
+     response: recovery must return the recorded result, not re-execute. *)
+  for crash_at = 1 to 400 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let t = L.create heap ~threads:1 in
+    let returned = ref None in
+    let outcome =
+      Sim.run ~policy:`Random ~seed:crash_at ~crash_at
+        [| (fun _ -> returned := Some (L.insert t 7)) |]
+    in
+    match outcome with
+    | Sim.All_done ->
+        Alcotest.(check (option bool)) "completed" (Some true) !returned
+    | Sim.Crashed_at _ ->
+        let rng = Random.State.make [| crash_at |] in
+        Pmem.crash ~rng heap;
+        let r = ref false in
+        (match
+           Sim.run [| (fun _ -> r := L.recover t (L.Insert 7)) |]
+         with
+        | Sim.All_done -> ()
+        | Sim.Crashed_at _ -> Alcotest.fail "crash during recovery run");
+        Alcotest.(check bool) "recovered response" true !r;
+        Alcotest.(check bool) "key durable" true (L.mem_volatile t 7);
+        (match L.check_invariants t with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m)
+  done
+
+let test_recover_twice_is_stable () =
+  (* multiple crashes during recovery: the response must not change *)
+  Pmem.reset_pending ();
+  let heap = Pmem.heap () in
+  let t = L.create heap ~threads:1 in
+  (match
+     Sim.run ~crash_at:120 ~policy:`Random
+       [| (fun _ -> ignore (L.insert t 3)) |]
+   with
+  | Sim.All_done | Sim.Crashed_at _ -> ());
+  Pmem.crash heap;
+  let answers = ref [] in
+  for i = 1 to 3 do
+    (match
+       Sim.run ~seed:i [| (fun _ -> answers := L.recover t (L.Insert 3) :: !answers) |]
+     with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected");
+    Pmem.crash heap
+  done;
+  match !answers with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "stable" true (a = b && b = c)
+  | _ -> Alcotest.fail "expected three answers"
+
+let test_find_recovery_reinvokes () =
+  (* a crashed find leaves CP at 0, so recovery re-invokes and returns a
+     fresh, correct answer *)
+  Pmem.reset_pending ();
+  let heap = Pmem.heap () in
+  let t = L.create heap ~threads:1 in
+  ignore (L.insert t 5);
+  (match
+     Sim.run ~crash_at:60 ~policy:`Random [| (fun _ -> ignore (L.find t 5)) |]
+   with
+  | Sim.All_done | Sim.Crashed_at _ -> ());
+  Pmem.crash heap;
+  let r = ref false in
+  (match Sim.run [| (fun _ -> r := L.recover t (L.Find 5)) |] with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected");
+  Alcotest.(check bool) "find recovered correctly" true !r
+
+let suite =
+  [
+    Alcotest.test_case "tracking campaign" `Quick test_tracking_campaign;
+    Alcotest.test_case "tracking campaign, hot keys" `Quick
+      test_tracking_small_hot;
+    Alcotest.test_case "tracking-bst campaign" `Quick
+      test_tracking_bst_campaign;
+    Alcotest.test_case "tracking without read-only opt campaign" `Quick
+      test_tracking_noopt_campaign;
+    Alcotest.test_case "capsules campaign" `Quick test_capsules_campaign;
+    Alcotest.test_case "capsules-opt campaign" `Quick
+      test_capsules_opt_campaign;
+    Alcotest.test_case "romulus campaign" `Quick test_romulus_campaign;
+    Alcotest.test_case "redo-opt campaign" `Quick test_redo_campaign;
+    Alcotest.test_case "recover a completed update returns its result"
+      `Quick test_recover_completed_update_returns_same;
+    Alcotest.test_case "repeated recovery is stable" `Quick
+      test_recover_twice_is_stable;
+    Alcotest.test_case "find recovery re-invokes" `Quick
+      test_find_recovery_reinvokes;
+  ]

@@ -1,0 +1,96 @@
+(* The per-key set-semantics oracle itself. *)
+
+let ev op ok = { Oracle.eop = op; ok }
+
+let ok_ = Alcotest.(check bool) "accepts" true
+let bad = Alcotest.(check bool) "rejects" false
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+let test_accepts_valid () =
+  ok_ (is_ok (Oracle.check ~initial:[] ~final:[] []));
+  ok_
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[ 1 ]
+          [ ev (Set_intf.Ins 1) true; ev (Set_intf.Fnd 1) true ]));
+  ok_
+    (is_ok
+       (Oracle.check ~initial:[ 1 ] ~final:[]
+          [ ev (Set_intf.Del 1) true; ev (Set_intf.Ins 1) true;
+            ev (Set_intf.Del 1) true ]));
+  (* interleaved alternation from absent *)
+  ok_
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[ 3 ]
+          [
+            ev (Set_intf.Ins 3) true;
+            ev (Set_intf.Del 3) true;
+            ev (Set_intf.Ins 3) true;
+            ev (Set_intf.Ins 3) false;
+            ev (Set_intf.Del 9) false;
+          ]))
+
+let test_rejects_lost_insert () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[] [ ev (Set_intf.Ins 1) true ]))
+
+let test_rejects_phantom_delete () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[] [ ev (Set_intf.Del 1) true ]))
+
+let test_rejects_double_success () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[ 1 ]
+          [ ev (Set_intf.Ins 1) true; ev (Set_intf.Ins 1) true ]))
+
+let test_rejects_failed_insert_never_present () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[] [ ev (Set_intf.Ins 1) false ]))
+
+let test_rejects_failed_delete_never_absent () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[ 1 ] ~final:[ 1 ]
+          [ ev (Set_intf.Del 1) false ]))
+
+let test_find_on_quiet_key () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[ 1 ] ~final:[ 1 ]
+          [ ev (Set_intf.Fnd 1) false ]));
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[] [ ev (Set_intf.Fnd 1) true ]));
+  (* finds on keys with concurrent updates are not constrained *)
+  ok_
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[ 1 ]
+          [ ev (Set_intf.Fnd 1) true; ev (Set_intf.Ins 1) true ]))
+
+let test_rejects_final_mismatch () =
+  bad
+    (is_ok
+       (Oracle.check ~initial:[] ~final:[] [ ev (Set_intf.Ins 1) true ]));
+  bad (is_ok (Oracle.check ~initial:[] ~final:[ 2 ] []))
+
+let suite =
+  [
+    Alcotest.test_case "accepts valid histories" `Quick test_accepts_valid;
+    Alcotest.test_case "rejects lost insert" `Quick test_rejects_lost_insert;
+    Alcotest.test_case "rejects phantom delete" `Quick
+      test_rejects_phantom_delete;
+    Alcotest.test_case "rejects double success" `Quick
+      test_rejects_double_success;
+    Alcotest.test_case "rejects failed insert on never-present key" `Quick
+      test_rejects_failed_insert_never_present;
+    Alcotest.test_case "rejects failed delete on never-absent key" `Quick
+      test_rejects_failed_delete_never_absent;
+    Alcotest.test_case "find constraints on quiet keys" `Quick
+      test_find_on_quiet_key;
+    Alcotest.test_case "rejects final-state mismatch" `Quick
+      test_rejects_final_mismatch;
+  ]

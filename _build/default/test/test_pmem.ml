@@ -1,0 +1,229 @@
+(* Semantics of the simulated NVMM: flush/sync protocol, crash behaviour,
+   poisoning, fence ordering, per-location monotonicity. *)
+
+let site_pwb = Pstats.make Pwb "test.pwb"
+let site_fence = Pstats.make Pfence "test.pfence"
+let site_sync = Pstats.make Psync "test.psync"
+
+let fresh () =
+  Pmem.reset_pending ();
+  Pstats.set_all_enabled true;
+  Pmem.heap ~name:"pmem-test" ()
+
+let test_read_write () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Alcotest.(check int) "initial" 1 (Pmem.read c);
+  Pmem.write c 2;
+  Alcotest.(check int) "after write" 2 (Pmem.read c);
+  Alcotest.(check bool) "cas wrong expected" false (Pmem.cas c 1 3);
+  Alcotest.(check bool) "cas right expected" true (Pmem.cas c 2 3);
+  Alcotest.(check int) "after cas" 3 (Pmem.read c)
+
+let test_unflushed_lost () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.pwb_f site_pwb c;
+  Pmem.psync site_sync;
+  Pmem.write c 2;
+  (* no pwb for the 2 *)
+  Pmem.crash h;
+  Alcotest.(check int) "reverts to persisted" 1 (Pmem.read c)
+
+let test_flushed_survives () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.write c 2;
+  Pmem.pwb_f site_pwb c;
+  Pmem.psync site_sync;
+  Pmem.crash h;
+  Alcotest.(check int) "persisted" 2 (Pmem.read c)
+
+let test_never_flushed_poisons () =
+  let h = fresh () in
+  let c = Pmem.alloc h 42 in
+  Pmem.crash h;
+  Alcotest.(check bool) "poisoned" true (Pmem.is_poisoned c);
+  (match Pmem.read c with
+  | _ -> Alcotest.fail "read of poisoned cell must raise"
+  | exception Pmem.Poisoned _ -> ());
+  match Pmem.write c 1 with
+  | () -> Alcotest.fail "write of poisoned cell must raise"
+  | exception Pmem.Poisoned _ -> ()
+
+let test_pwb_without_sync_dropped () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.pwb_f site_pwb c;
+  (* harshest adversary: outstanding write-backs are dropped *)
+  Pmem.crash h;
+  Alcotest.(check bool) "still unpersisted" true (Pmem.is_poisoned c)
+
+let test_line_granularity () =
+  let h = fresh () in
+  let line = Pmem.new_line h in
+  let a = Pmem.on_line line 1 in
+  let b = Pmem.on_line line 10 in
+  Pmem.write a 2;
+  Pmem.write b 20;
+  (* one pwb persists the whole line *)
+  Pmem.pwb site_pwb line;
+  Pmem.psync site_sync;
+  Pmem.crash h;
+  Alcotest.(check int) "field a" 2 (Pmem.read a);
+  Alcotest.(check int) "field b" 20 (Pmem.read b)
+
+let test_cas_drains_writebacks () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  let d = Pmem.alloc h 100 in
+  Pmem.pwb_f site_pwb d;
+  (* no psync: the CAS plays sfence on Intel (paper §5) *)
+  Alcotest.(check bool) "cas ok" true (Pmem.cas c 1 2);
+  Pmem.crash h;
+  Alcotest.(check int) "d persisted by the cas drain" 100 (Pmem.read d)
+
+let test_cas_drain_ablatable () =
+  Cost.with_table
+    (fun t -> t.Cost.cas_drains_wb <- false)
+    (fun () ->
+      let h = fresh () in
+      let c = Pmem.alloc h 1 in
+      let d = Pmem.alloc h 100 in
+      Pmem.pwb_f site_pwb d;
+      ignore (Pmem.cas c 1 2 : bool);
+      Pmem.crash h;
+      Alcotest.(check bool) "d not persisted" true (Pmem.is_poisoned d))
+
+let test_fence_ordering_at_crash () =
+  (* Across many adversarial resolutions, a later segment must never
+     persist unless every earlier segment fully persisted. *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 200 do
+    let h = fresh () in
+    let a = Pmem.alloc h 0 and b = Pmem.alloc h 0 in
+    Pmem.write a 1;
+    Pmem.pwb_f site_pwb a;
+    Pmem.pfence site_fence;
+    Pmem.write b 1;
+    Pmem.pwb_f site_pwb b;
+    Pmem.crash ~rng h;
+    let pa = Pmem.peek_persisted a and pb = Pmem.peek_persisted b in
+    if pb = Some 1 && pa <> Some 1 then
+      Alcotest.fail "pfence violated: b persisted before a"
+  done
+
+let test_per_location_monotonic () =
+  (* Once a newer value is durable, no stale write-back may roll it
+     back (the coherence property behind the Capsules bug we fixed). *)
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 200 do
+    let h = fresh () in
+    let a = Pmem.alloc h 0 in
+    Pmem.write a 1;
+    Pmem.pwb_f site_pwb a;
+    Pmem.write a 2;
+    Pmem.pwb_f site_pwb a;
+    Pmem.psync site_sync;
+    (* a=2 durable; an outstanding stale-looking pwb must not undo it *)
+    Pmem.pwb_f site_pwb a;
+    Pmem.crash ~rng h;
+    Alcotest.(check int) "monotone" 2 (Pmem.read a)
+  done
+
+let test_system_persist () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.system_persist c 7;
+  Pmem.crash h;
+  Alcotest.(check int) "system persist is crash-atomic" 7 (Pmem.read c)
+
+let test_disabled_site_is_noop () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pstats.set_enabled site_pwb false;
+  Pmem.write c 2;
+  Pmem.pwb_f site_pwb c;
+  Pmem.psync site_sync;
+  Pstats.set_enabled site_pwb true;
+  Pmem.crash h;
+  Alcotest.(check bool) "nothing persisted" true (Pmem.is_poisoned c)
+
+let test_stats_counting () =
+  Pstats.reset ();
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.pwb_f site_pwb c;
+  Pmem.pwb_f site_pwb c;
+  Pmem.pfence site_fence;
+  Pmem.psync site_sync;
+  let t = Pstats.totals () in
+  Alcotest.(check int) "pwbs" 2 t.Pstats.pwbs;
+  Alcotest.(check int) "pfences" 1 t.Pstats.pfences;
+  Alcotest.(check int) "psyncs" 1 t.Pstats.psyncs;
+  Alcotest.(check int) "all low (private)" 2 t.Pstats.low
+
+let test_outstanding_accounting () =
+  let h = fresh () in
+  let c = Pmem.alloc h 1 in
+  Pmem.pwb_f site_pwb c;
+  Pmem.pwb_f site_pwb c;
+  Alcotest.(check int) "two outstanding" 2 (Pmem.outstanding_writebacks 0);
+  Pmem.psync site_sync;
+  Alcotest.(check int) "drained" 0 (Pmem.outstanding_writebacks 0)
+
+let prop_random_crash_consistency =
+  QCheck2.Test.make ~name:"crash yields a persisted-prefix state per cell"
+    ~count:200
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let h = fresh () in
+      let cells = Array.init 8 (fun _ -> Pmem.alloc h 0) in
+      let history = Array.make 8 [ 0 ] in
+      for step = 1 to 40 do
+        let i = Random.State.int rng 8 in
+        match Random.State.int rng 3 with
+        | 0 ->
+            Pmem.write cells.(i) step;
+            history.(i) <- step :: history.(i)
+        | 1 -> Pmem.pwb_f site_pwb cells.(i)
+        | _ -> Pmem.psync site_sync
+      done;
+      Pmem.crash ~rng h;
+      (* each surviving value must be SOME value the cell actually held *)
+      Array.for_all2
+        (fun c hist ->
+          Pmem.is_poisoned c || List.mem (Pmem.peek c) hist)
+        cells history)
+
+let suite =
+  [
+    Alcotest.test_case "read-write-cas" `Quick test_read_write;
+    Alcotest.test_case "unflushed write lost at crash" `Quick
+      test_unflushed_lost;
+    Alcotest.test_case "flushed write survives crash" `Quick
+      test_flushed_survives;
+    Alcotest.test_case "never-flushed cell poisons" `Quick
+      test_never_flushed_poisons;
+    Alcotest.test_case "pwb without psync may be dropped" `Quick
+      test_pwb_without_sync_dropped;
+    Alcotest.test_case "pwb persists the whole line" `Quick
+      test_line_granularity;
+    Alcotest.test_case "CAS drains outstanding write-backs" `Quick
+      test_cas_drains_writebacks;
+    Alcotest.test_case "CAS drain can be ablated" `Quick
+      test_cas_drain_ablatable;
+    Alcotest.test_case "pfence ordering respected at crash" `Quick
+      test_fence_ordering_at_crash;
+    Alcotest.test_case "per-location durability is monotone" `Quick
+      test_per_location_monotonic;
+    Alcotest.test_case "system_persist crash-atomic" `Quick
+      test_system_persist;
+    Alcotest.test_case "disabled site is a no-op" `Quick
+      test_disabled_site_is_noop;
+    Alcotest.test_case "statistics counting" `Quick test_stats_counting;
+    Alcotest.test_case "outstanding write-back accounting" `Quick
+      test_outstanding_accounting;
+    QCheck_alcotest.to_alcotest prop_random_crash_consistency;
+  ]

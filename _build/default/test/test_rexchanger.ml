@@ -1,0 +1,124 @@
+(* The detectably recoverable exchanger: pairing, timeout, cancellation
+   races, and crash recovery of both roles. *)
+
+let fresh threads =
+  Pmem.reset_pending ();
+  let heap = Pmem.heap ~name:"xchg-test" () in
+  (heap, Rexchanger.create heap ~threads)
+
+let test_pairing () =
+  for seed = 0 to 19 do
+    let _, x = fresh 2 in
+    let res = Array.make 2 None in
+    let body i (_ : int) = res.(i) <- Rexchanger.exchange ~spins:5000 x (100 + i) in
+    (match Sim.run ~policy:`Random ~seed (Array.init 2 body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    Alcotest.(check (option int)) "thread 0 got 101" (Some 101) res.(0);
+    Alcotest.(check (option int)) "thread 1 got 100" (Some 100) res.(1);
+    Alcotest.(check bool) "slot free" true (Rexchanger.slot_is_free x)
+  done
+
+let test_timeout_alone () =
+  let _, x = fresh 1 in
+  (match Sim.run [| (fun _ -> assert (Rexchanger.exchange ~spins:10 x 7 = None)) |] with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+  Alcotest.(check bool) "slot freed after cancel" true (Rexchanger.slot_is_free x)
+
+let test_many_rounds () =
+  (* repeated exchanges through the same slot *)
+  for seed = 0 to 9 do
+    let _, x = fresh 2 in
+    let sums = Array.make 2 0 in
+    let body i (_ : int) =
+      for round = 0 to 9 do
+        match Rexchanger.exchange ~spins:5000 x ((i * 1000) + round) with
+        | Some v -> sums.(i) <- sums.(i) + v
+        | None -> Alcotest.fail "partner exists: no timeout expected"
+      done
+    in
+    (match Sim.run ~policy:`Random ~seed (Array.init 2 body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    (* every value sent by one side is received by the other, per round *)
+    let expect i = (((1 - i) * 1000) * 10) + 45 in
+    Alcotest.(check int) "sum 0" (expect 0) sums.(0);
+    Alcotest.(check int) "sum 1" (expect 1) sums.(1)
+  done
+
+let test_even_crowd () =
+  (* 2n threads all exchange; everyone must pair with someone, and values
+     must form a perfect matching *)
+  for seed = 0 to 9 do
+    let n = 6 in
+    let _, x = fresh n in
+    let res = Array.make n None in
+    let body i (_ : int) = res.(i) <- Rexchanger.exchange ~spins:50_000 x i in
+    (match Sim.run ~policy:`Random ~seed (Array.init n body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    let got = Array.map (function Some v -> v | None -> -1) res in
+    Array.iteri
+      (fun i v ->
+        if v < 0 then Alcotest.failf "thread %d timed out" i
+        else if got.(v) <> i then
+          Alcotest.failf "thread %d got %d but %d got %d" i v v got.(v))
+      got
+  done
+
+(* Crash during exchanges: after recovery, responses must still form a
+   valid matching — if A received B's value, B must receive A's (possibly
+   through recovery). *)
+let test_crash_recovery () =
+  let violations = ref [] in
+  for seed = 0 to 199 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let x = Rexchanger.create heap ~threads:2 in
+    let res = Array.make 2 None in
+    let done_ = Array.make 2 false in
+    let body i (_ : int) =
+      res.(i) <- Rexchanger.exchange ~spins:2000 x (100 + i);
+      done_.(i) <- true
+    in
+    let crash_at = 10 + (seed * 7 mod 600) in
+    let rng = Random.State.make [| seed; 99 |] in
+    (match Sim.run ~policy:`Random ~seed ~crash_at (Array.init 2 body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ ->
+        Pmem.crash ~rng heap;
+        (match
+           Sim.run ~policy:`Random ~seed:(seed + 1)
+             (Array.init 2 (fun i (_ : int) ->
+                  if not done_.(i) then begin
+                    res.(i) <- Rexchanger.recover ~spins:2000 x (100 + i);
+                    done_.(i) <- true
+                  end))
+         with
+        | Sim.All_done -> ()
+        | Sim.Crashed_at _ -> Alcotest.fail "unexpected second crash"));
+    (match (res.(0), res.(1)) with
+    | Some a, Some b ->
+        if not (a = 101 && b = 100) then
+          violations := Printf.sprintf "seed %d: got %d/%d" seed a b :: !violations
+    | Some a, None | None, Some a ->
+        (* one-sided success is a detectability violation: the value can
+           only have been delivered by the other party *)
+        violations := Printf.sprintf "seed %d: one-sided %d" seed a :: !violations
+    | None, None -> ())
+  done;
+  match !violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "%d violations, first: %s" (List.length !violations) v
+
+let suite =
+  [
+    Alcotest.test_case "two threads pair" `Quick test_pairing;
+    Alcotest.test_case "timeout when alone" `Quick test_timeout_alone;
+    Alcotest.test_case "many rounds through one slot" `Quick test_many_rounds;
+    Alcotest.test_case "crowd forms a perfect matching" `Quick
+      test_even_crowd;
+    Alcotest.test_case "crash recovery keeps matching valid" `Quick
+      test_crash_recovery;
+  ]

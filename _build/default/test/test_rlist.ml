@@ -1,0 +1,214 @@
+(* Unit and property tests for the detectably recoverable linked list. *)
+
+module L = Rlist.Int
+
+let check_inv t =
+  match L.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violation: %s" msg
+
+let fresh () =
+  Pmem.reset_pending ();
+  let heap = Pmem.heap ~name:"rlist-test" () in
+  (heap, L.create heap ~threads:8)
+
+let test_empty () =
+  let _, t = fresh () in
+  Alcotest.(check (list int)) "empty" [] (L.to_list t);
+  Alcotest.(check bool) "find on empty" false (L.find t 5);
+  check_inv t
+
+let test_insert_find () =
+  let _, t = fresh () in
+  Alcotest.(check bool) "insert 5" true (L.insert t 5);
+  Alcotest.(check bool) "insert 3" true (L.insert t 3);
+  Alcotest.(check bool) "insert 9" true (L.insert t 9);
+  Alcotest.(check bool) "re-insert 5" false (L.insert t 5);
+  Alcotest.(check (list int)) "sorted" [ 3; 5; 9 ] (L.to_list t);
+  Alcotest.(check bool) "find 3" true (L.find t 3);
+  Alcotest.(check bool) "find 4" false (L.find t 4);
+  check_inv t
+
+let test_delete () =
+  let _, t = fresh () in
+  List.iter (fun k -> ignore (L.insert t k)) [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "delete 2" true (L.delete t 2);
+  Alcotest.(check bool) "delete 2 again" false (L.delete t 2);
+  Alcotest.(check bool) "delete missing" false (L.delete t 99);
+  Alcotest.(check (list int)) "remaining" [ 1; 3; 4 ] (L.to_list t);
+  Alcotest.(check bool) "find deleted" false (L.find t 2);
+  check_inv t
+
+let test_boundaries () =
+  let _, t = fresh () in
+  Alcotest.(check bool) "min_int" true (L.insert t min_int);
+  Alcotest.(check bool) "max_int" true (L.insert t max_int);
+  Alcotest.(check bool) "zero" true (L.insert t 0);
+  Alcotest.(check (list int)) "order" [ min_int; 0; max_int ] (L.to_list t);
+  Alcotest.(check bool) "delete min" true (L.delete t min_int);
+  Alcotest.(check (list int)) "after" [ 0; max_int ] (L.to_list t);
+  check_inv t
+
+(* Sequential model-based property: the list agrees with Stdlib.Set after
+   any sequence of operations. *)
+module IS = Set.Make (Stdlib.Int)
+
+type op = I of int | D of int | F of int
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> I k) (int_range 0 30);
+        map (fun k -> D k) (int_range 0 30);
+        map (fun k -> F k) (int_range 0 30);
+      ])
+
+let prop_sequential_model =
+  QCheck2.Test.make ~name:"rlist agrees with Set model (sequential)"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 0 60) gen_op)
+    (fun ops ->
+      let _, t = fresh () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | I k ->
+              let expected = not (IS.mem k !model) in
+              model := IS.add k !model;
+              L.insert t k = expected
+          | D k ->
+              let expected = IS.mem k !model in
+              model := IS.remove k !model;
+              L.delete t k = expected
+          | F k -> L.find t k = IS.mem k !model)
+        ops
+      && L.to_list t = IS.elements !model
+      && L.check_invariants t = Ok ())
+
+(* Concurrent runs under the random scheduler: disjoint key ranges per
+   thread make per-thread sequential semantics exact. *)
+let test_concurrent_disjoint () =
+  for seed = 0 to 19 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let t = L.create heap ~threads:4 in
+    let results = Array.make 4 [] in
+    let body tid (_ : int) =
+      let base = tid * 100 in
+      let r = ref [] in
+      for i = 0 to 9 do
+        r := L.insert t (base + i) :: !r
+      done;
+      for i = 0 to 4 do
+        r := L.delete t (base + (2 * i)) :: !r
+      done;
+      results.(tid) <- !r
+    in
+    (match Sim.run ~policy:`Random ~seed (Array.init 4 (fun i -> body i)) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    for tid = 0 to 3 do
+      List.iter
+        (fun ok -> Alcotest.(check bool) "all ops succeed" true ok)
+        results.(tid)
+    done;
+    let expected =
+      List.concat_map
+        (fun tid -> List.init 5 (fun i -> (tid * 100) + (2 * i) + 1))
+        [ 0; 1; 2; 3 ]
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "final contents" expected (L.to_list t);
+    check_inv t
+  done
+
+(* Contended keys: all threads fight over the same small range; check the
+   per-key success-count algebra afterwards. *)
+let test_concurrent_contended () =
+  for seed = 0 to 19 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let nthreads = 4 in
+    let t = L.create heap ~threads:nthreads in
+    let succ_ins = Array.make 8 0 and succ_del = Array.make 8 0 in
+    let log : (int * bool * bool) list ref = ref [] in
+    let body tid (_ : int) =
+      let rng = Random.State.make [| seed; tid |] in
+      for _ = 1 to 25 do
+        let k = Random.State.int rng 8 in
+        if Random.State.bool rng then begin
+          let ok = L.insert t k in
+          log := (k, true, ok) :: !log
+        end
+        else begin
+          let ok = L.delete t k in
+          log := (k, false, ok) :: !log
+        end
+      done
+    in
+    (match
+       Sim.run ~policy:`Random ~seed (Array.init nthreads (fun i -> body i))
+     with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    List.iter
+      (fun (k, is_ins, ok) ->
+        if ok then
+          if is_ins then succ_ins.(k) <- succ_ins.(k) + 1
+          else succ_del.(k) <- succ_del.(k) + 1)
+      !log;
+    for k = 0 to 7 do
+      let net = succ_ins.(k) - succ_del.(k) in
+      if net < 0 || net > 1 then
+        Alcotest.failf "key %d: net successful inserts = %d" k net;
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d presence" k)
+        (net = 1) (L.mem_volatile t k)
+    done;
+    check_inv t
+  done
+
+(* Lock-freedom smoke test: one thread is suspended while holding a tag;
+   another must still complete via helping. *)
+let test_helping_completes () =
+  (* Thread 0 starts a delete and is suspended mid-flight at every
+     possible step; thread 1 then runs to completion before any recovery,
+     relying on helping alone. *)
+  for crash_at = 5 to 120 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let t = L.create heap ~threads:2 in
+    ignore (L.insert t 10);
+    ignore (L.insert t 20);
+    (match
+       Sim.run ~policy:`Random ~seed:crash_at ~crash_at
+         [| (fun _ -> ignore (L.delete t 10)) |]
+     with
+    | Sim.All_done | Sim.Crashed_at _ -> ());
+    (* No crash-reset of volatile state here: this models a slow thread,
+       not a failure.  Thread 1 must not block on 10's or 20's tags. *)
+    (match
+       Sim.run ~policy:`Random ~seed:0
+         [| (fun _ -> ignore (L.insert t 15)) |]
+     with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    Alcotest.(check bool) "15 present" true (L.mem_volatile t 15)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "insert-find" `Quick test_insert_find;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "boundary keys" `Quick test_boundaries;
+    QCheck_alcotest.to_alcotest prop_sequential_model;
+    Alcotest.test_case "concurrent disjoint keys" `Quick
+      test_concurrent_disjoint;
+    Alcotest.test_case "concurrent contended keys" `Quick
+      test_concurrent_contended;
+    Alcotest.test_case "helping completes stalled ops" `Quick
+      test_helping_completes;
+  ]

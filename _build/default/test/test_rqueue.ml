@@ -1,0 +1,216 @@
+(* The Tracking-derived recoverable FIFO queue: sequential order,
+   concurrent element conservation, helping, and detectable recovery. *)
+
+let fresh threads =
+  Pmem.reset_pending ();
+  let heap = Pmem.heap ~name:"rqueue-test" () in
+  (heap, Rqueue.create heap ~threads)
+
+let check_inv q =
+  match Rqueue.check_invariants q with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+let test_fifo_sequential () =
+  let _, q = fresh 2 in
+  Alcotest.(check (option int)) "empty" None (Rqueue.dequeue q);
+  Rqueue.enqueue q 1;
+  Rqueue.enqueue q 2;
+  Rqueue.enqueue q 3;
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] (Rqueue.to_list q);
+  Alcotest.(check (option int)) "deq 1" (Some 1) (Rqueue.dequeue q);
+  Rqueue.enqueue q 4;
+  Alcotest.(check (option int)) "deq 2" (Some 2) (Rqueue.dequeue q);
+  Alcotest.(check (option int)) "deq 3" (Some 3) (Rqueue.dequeue q);
+  Alcotest.(check (option int)) "deq 4" (Some 4) (Rqueue.dequeue q);
+  Alcotest.(check (option int)) "empty again" None (Rqueue.dequeue q);
+  Alcotest.(check int) "length" 0 (Rqueue.length q);
+  check_inv q
+
+let prop_fifo_model =
+  QCheck2.Test.make ~name:"rqueue agrees with Queue model (sequential)"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 60) (option (int_range 0 99)))
+    (fun script ->
+      let _, q = fresh 1 in
+      let model = Queue.create () in
+      List.for_all
+        (fun step ->
+          match step with
+          | Some v ->
+              Rqueue.enqueue q v;
+              Queue.push v model;
+              true
+          | None ->
+              let expected = Queue.take_opt model in
+              Rqueue.dequeue q = expected)
+        script
+      && Rqueue.to_list q = List.of_seq (Queue.to_seq model))
+
+(* Element conservation under concurrency: everything enqueued is
+   dequeued exactly once (or still present), and per-producer order is
+   preserved among that producer's dequeued elements. *)
+let test_concurrent_conservation () =
+  for seed = 0 to 14 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let q = Rqueue.create heap ~threads:4 in
+    let dequeued = Array.make 4 [] in
+    let producer tid (_ : int) =
+      for i = 0 to 9 do
+        Rqueue.enqueue q ((tid * 1000) + i)
+      done
+    in
+    let consumer tid (_ : int) =
+      for _ = 0 to 9 do
+        let rec take tries =
+          match Rqueue.dequeue q with
+          | Some v -> dequeued.(tid) <- v :: dequeued.(tid)
+          | None -> if tries < 4000 then (Sim.advance 50.; take (tries + 1))
+        in
+        take 0
+      done
+    in
+    (match
+       Sim.run ~policy:`Random ~seed
+         [| producer 0; producer 1; consumer 2; consumer 3 |]
+     with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    let taken = List.concat [ dequeued.(2); dequeued.(3) ] in
+    let rest = Rqueue.to_list q in
+    let all = List.sort compare (taken @ rest) in
+    let expected =
+      List.sort compare
+        (List.concat_map (fun t -> List.init 10 (fun i -> (t * 1000) + i)) [ 0; 1 ])
+    in
+    Alcotest.(check (list int)) "conservation" expected all;
+    (* per-producer FIFO: among elements of one producer, dequeue order
+       respects enqueue order within each consumer's local sequence *)
+    List.iter
+      (fun c ->
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            let p = v / 1000 in
+            (match Hashtbl.find_opt seen p with
+            | Some prev when prev < v ->
+                Alcotest.failf "producer %d order violated: %d after %d" p v prev
+            | _ -> ());
+            Hashtbl.replace seen p v)
+          dequeued.(c))
+      [ 2; 3 ];
+    check_inv q
+  done
+
+let test_helping_completes () =
+  for crash_at = 5 to 100 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let q = Rqueue.create heap ~threads:2 in
+    Rqueue.enqueue q 1;
+    Rqueue.enqueue q 2;
+    (* freeze an enqueue mid-flight at every step *)
+    (match
+       Sim.run ~policy:`Random ~seed:crash_at ~crash_at
+         [| (fun _ -> Rqueue.enqueue q 3) |]
+     with
+    | Sim.All_done | Sim.Crashed_at _ -> ());
+    (* another thread must still make progress through helping *)
+    (match
+       Sim.run ~seed:1 [| (fun _ -> ignore (Rqueue.dequeue q : int option)) |]
+     with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash")
+  done
+
+(* Crash campaigns: enqueues and dequeues with adversarial crashes; the
+   recovered responses must conserve elements exactly once. *)
+let test_crash_recovery_conservation () =
+  for seed = 0 to 59 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let threads = 3 in
+    let q = Rqueue.create heap ~threads in
+    let rng = Random.State.make [| seed; 0xDE0 |] in
+    let produced = ref [] and consumed = ref [] in
+    let pending = Array.make threads None in
+    let remaining =
+      Array.init threads (fun t ->
+          let trng = Random.State.make [| seed; t |] in
+          ref
+            (List.init 8 (fun i ->
+                 if Random.State.bool trng then
+                   Rqueue.Enqueue ((t * 100) + i)
+                 else Rqueue.Dequeue)))
+    in
+    let record op (r : int option) =
+      (match op with
+      | Rqueue.Enqueue v -> produced := v :: !produced
+      | Rqueue.Dequeue -> (
+          match r with Some v -> consumed := v :: !consumed | None -> ()))
+    in
+    let worker tid (_ : int) =
+      let rec go () =
+        match !(remaining.(tid)) with
+        | [] -> ()
+        | op :: rest ->
+            pending.(tid) <- Some op;
+            let r = Rqueue.apply q op in
+            record op r;
+            pending.(tid) <- None;
+            remaining.(tid) := rest;
+            go ()
+      in
+      go ()
+    in
+    let recoverer tid (_ : int) =
+      match pending.(tid) with
+      | None -> ()
+      | Some op ->
+          let r = Rqueue.recover q op in
+          record op r;
+          pending.(tid) <- None;
+          (match !(remaining.(tid)) with
+          | _ :: rest -> remaining.(tid) := rest
+          | [] -> ())
+    in
+    let crashes = ref 0 in
+    let rec rounds round bodies =
+      match
+        Sim.run ~policy:`Random ~seed:(seed + (round * 131))
+          ~crash_at:(if !crashes < 3 then 1 + Random.State.int rng 4000 else -1)
+          bodies
+      with
+      | Sim.All_done ->
+          if Array.exists (fun p -> p <> None) pending then
+            rounds (round + 1) (Array.init threads recoverer)
+          else if Array.exists (fun r -> !r <> []) remaining then
+            rounds (round + 1) (Array.init threads worker)
+          else ()
+      | Sim.Crashed_at _ ->
+          incr crashes;
+          Pmem.crash ~rng heap;
+          rounds (round + 1) (Array.init threads recoverer)
+    in
+    rounds 0 (Array.init threads worker);
+    let left = Rqueue.to_list q in
+    let all = List.sort compare (!consumed @ left) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d conservation (crashes=%d)" seed !crashes)
+      (List.sort compare !produced)
+      all;
+    check_inv q
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fifo sequential" `Quick test_fifo_sequential;
+    QCheck_alcotest.to_alcotest prop_fifo_model;
+    Alcotest.test_case "concurrent conservation" `Quick
+      test_concurrent_conservation;
+    Alcotest.test_case "helping completes stalled ops" `Quick
+      test_helping_completes;
+    Alcotest.test_case "crash recovery conserves elements" `Quick
+      test_crash_recovery_conservation;
+  ]

@@ -1,0 +1,176 @@
+(* The Tracking-derived recoverable Treiber stack. *)
+
+let fresh threads =
+  Pmem.reset_pending ();
+  let heap = Pmem.heap ~name:"rstack-test" () in
+  (heap, Rstack.create heap ~threads)
+
+let check_inv s =
+  match Rstack.check_invariants s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant: %s" m
+
+let test_lifo_sequential () =
+  let _, s = fresh 2 in
+  Alcotest.(check (option int)) "empty" None (Rstack.pop s);
+  Rstack.push s 1;
+  Rstack.push s 2;
+  Rstack.push s 3;
+  Alcotest.(check (list int)) "top-down" [ 3; 2; 1 ] (Rstack.to_list s);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Rstack.pop s);
+  Rstack.push s 4;
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Rstack.pop s);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Rstack.pop s);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Rstack.pop s);
+  Alcotest.(check (option int)) "empty again" None (Rstack.pop s);
+  check_inv s
+
+let prop_lifo_model =
+  QCheck2.Test.make ~name:"rstack agrees with Stack model (sequential)"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 60) (option (int_range 0 99)))
+    (fun script ->
+      let _, s = fresh 1 in
+      let model = Stack.create () in
+      List.for_all
+        (fun step ->
+          match step with
+          | Some v ->
+              Rstack.push s v;
+              Stack.push v model;
+              true
+          | None -> Rstack.pop s = Stack.pop_opt model)
+        script
+      && Rstack.to_list s = List.of_seq (Stack.to_seq model))
+
+let test_concurrent_conservation () =
+  for seed = 0 to 14 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let s = Rstack.create heap ~threads:4 in
+    let popped = Array.make 4 [] in
+    let body tid (_ : int) =
+      let rng = Random.State.make [| seed; tid; 8 |] in
+      for i = 0 to 11 do
+        if Random.State.int rng 3 < 2 then Rstack.push s ((tid * 1000) + i)
+        else
+          match Rstack.pop s with
+          | Some v -> popped.(tid) <- v :: popped.(tid)
+          | None -> ()
+      done
+    in
+    (match Sim.run ~policy:`Random ~seed (Array.init 4 body) with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    (* conservation: pushed = popped + remaining, no duplicates *)
+    let taken = Array.to_list popped |> List.concat in
+    let all = List.sort compare (taken @ Rstack.to_list s) in
+    let sorted_uniq = List.sort_uniq compare all in
+    Alcotest.(check int) "no duplicates" (List.length sorted_uniq)
+      (List.length all);
+    check_inv s
+  done
+
+let test_helping_completes () =
+  for crash_at = 5 to 100 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let s = Rstack.create heap ~threads:2 in
+    Rstack.push s 1;
+    (match
+       Sim.run ~policy:`Random ~seed:crash_at ~crash_at
+         [| (fun _ -> Rstack.push s 2) |]
+     with
+    | Sim.All_done | Sim.Crashed_at _ -> ());
+    (match Sim.run ~seed:1 [| (fun _ -> Rstack.push s 3) |] with
+    | Sim.All_done -> ()
+    | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+    Alcotest.(check bool) "3 on stack" true (List.mem 3 (Rstack.to_list s))
+  done
+
+let test_crash_recovery_conservation () =
+  for seed = 0 to 59 do
+    Pmem.reset_pending ();
+    let heap = Pmem.heap () in
+    let threads = 3 in
+    let s = Rstack.create heap ~threads in
+    let rng = Random.State.make [| seed; 0x57A |] in
+    let pushed = ref [] and popped = ref [] in
+    let pending = Array.make threads None in
+    let remaining =
+      Array.init threads (fun t ->
+          let trng = Random.State.make [| seed; t; 2 |] in
+          ref
+            (List.init 8 (fun i ->
+                 if Random.State.bool trng then Rstack.Push ((t * 100) + i)
+                 else Rstack.Pop)))
+    in
+    let record op (r : int option) =
+      match op with
+      | Rstack.Push v -> pushed := v :: !pushed
+      | Rstack.Pop -> (
+          match r with Some v -> popped := v :: !popped | None -> ())
+    in
+    let worker tid (_ : int) =
+      let rec go () =
+        match !(remaining.(tid)) with
+        | [] -> ()
+        | op :: rest ->
+            pending.(tid) <- Some op;
+            let r = Rstack.apply s op in
+            record op r;
+            pending.(tid) <- None;
+            remaining.(tid) := rest;
+            go ()
+      in
+      go ()
+    in
+    let recoverer tid (_ : int) =
+      match pending.(tid) with
+      | None -> ()
+      | Some op ->
+          let r = Rstack.recover s op in
+          record op r;
+          pending.(tid) <- None;
+          (match !(remaining.(tid)) with
+          | _ :: rest -> remaining.(tid) := rest
+          | [] -> ())
+    in
+    let crashes = ref 0 in
+    let rec rounds round bodies =
+      match
+        Sim.run ~policy:`Random ~seed:(seed + (round * 61))
+          ~crash_at:(if !crashes < 3 then 1 + Random.State.int rng 3500 else -1)
+          bodies
+      with
+      | Sim.All_done ->
+          if Array.exists (fun p -> p <> None) pending then
+            rounds (round + 1) (Array.init threads recoverer)
+          else if Array.exists (fun r -> !r <> []) remaining then
+            rounds (round + 1) (Array.init threads worker)
+          else ()
+      | Sim.Crashed_at _ ->
+          incr crashes;
+          Pmem.crash ~rng heap;
+          rounds (round + 1) (Array.init threads recoverer)
+    in
+    rounds 0 (Array.init threads worker);
+    let all = List.sort compare (!popped @ Rstack.to_list s) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d conservation (crashes=%d)" seed !crashes)
+      (List.sort compare !pushed)
+      all;
+    check_inv s
+  done
+
+let suite =
+  [
+    Alcotest.test_case "lifo sequential" `Quick test_lifo_sequential;
+    QCheck_alcotest.to_alcotest prop_lifo_model;
+    Alcotest.test_case "concurrent conservation" `Quick
+      test_concurrent_conservation;
+    Alcotest.test_case "helping completes stalled ops" `Quick
+      test_helping_completes;
+    Alcotest.test_case "crash recovery conserves elements" `Quick
+      test_crash_recovery_conservation;
+  ]

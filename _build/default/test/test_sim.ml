@@ -1,0 +1,188 @@
+(* The discrete-event engine: determinism, clock accounting, crash
+   injection, scheduling fairness. *)
+
+let test_runs_all () =
+  let hits = Array.make 5 false in
+  (match Sim.run (Array.init 5 (fun i _ -> hits.(i) <- true)) with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+  Array.iteri
+    (fun i h -> Alcotest.(check bool) (Printf.sprintf "thread %d ran" i) true h)
+    hits
+
+let test_tid_and_in_sim () =
+  Alcotest.(check bool) "outside" false (Sim.in_sim ());
+  let seen = Array.make 3 (-1) in
+  ignore
+    (Sim.run
+       (Array.init 3 (fun i _ ->
+            Alcotest.(check bool) "inside" true (Sim.in_sim ());
+            seen.(i) <- Sim.tid ()))
+      : Sim.outcome);
+  Alcotest.(check (list int)) "tids" [ 0; 1; 2 ] (Array.to_list seen);
+  Alcotest.(check bool) "outside again" false (Sim.in_sim ())
+
+let test_clock_accounting () =
+  let final = ref 0. in
+  ignore
+    (Sim.run
+       [|
+         (fun _ ->
+           Sim.step 100.;
+           Sim.advance 50.;
+           Sim.step 0.;
+           final := Sim.now ());
+       |]
+      : Sim.outcome);
+  Alcotest.(check (float 0.001)) "clock" 150. !final
+
+let test_perf_policy_interleaves_by_clock () =
+  (* A thread with cheap steps must run many steps while an expensive
+     thread completes few: min-clock scheduling is fair in virtual time. *)
+  let order = ref [] in
+  ignore
+    (Sim.run ~policy:`Perf
+       [|
+         (fun _ ->
+           for i = 1 to 3 do
+             Sim.step 1000.;
+             order := (0, i) :: !order
+           done);
+         (fun _ ->
+           for i = 1 to 3 do
+             Sim.step 10.;
+             order := (1, i) :: !order
+           done);
+       |]
+      : Sim.outcome);
+  (* the cheap thread's three steps all precede the expensive thread's
+     second step *)
+  let pos x =
+    let rec idx n = function
+      | [] -> Alcotest.fail "missing event"
+      | e :: rest -> if e = x then n else idx (n + 1) rest
+    in
+    idx 0 (List.rev !order)
+  in
+  Alcotest.(check bool) "cheap thread runs ahead" true (pos (1, 3) < pos (0, 2))
+
+let test_random_policy_deterministic_per_seed () =
+  let trace seed =
+    let log = ref [] in
+    ignore
+      (Sim.run ~policy:`Random ~seed
+         (Array.init 3 (fun i _ ->
+              for j = 0 to 4 do
+                Sim.step 1.;
+                log := (i, j) :: !log
+              done))
+        : Sim.outcome);
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 42 = trace 42);
+  Alcotest.(check bool)
+    "different seeds usually differ" true
+    (List.exists (fun s -> trace s <> trace 42) [ 1; 2; 3; 4; 5 ])
+
+let test_crash_at_step () =
+  let completed = ref 0 in
+  let outcome =
+    Sim.run ~policy:`Random ~crash_at:10
+      (Array.init 4 (fun _ _ ->
+           for _ = 1 to 100 do
+             Sim.step 1.
+           done;
+           incr completed))
+  in
+  (match outcome with
+  | Sim.Crashed_at n -> Alcotest.(check bool) "at step 10" true (n >= 10)
+  | Sim.All_done -> Alcotest.fail "expected crash");
+  Alcotest.(check int) "no thread completed" 0 !completed
+
+let test_crash_unwinds_with_exception () =
+  let cleaned = ref false in
+  (match
+     Sim.run ~crash_at:5
+       [|
+         (fun _ ->
+           Fun.protect
+             ~finally:(fun () -> cleaned := true)
+             (fun () ->
+               for _ = 1 to 100 do
+                 Sim.step 1.
+               done));
+       |]
+   with
+  | Sim.Crashed_at _ -> ()
+  | Sim.All_done -> Alcotest.fail "expected crash");
+  Alcotest.(check bool) "finalizer ran on Crashed" true !cleaned
+
+let test_request_crash () =
+  match
+    Sim.run
+      [| (fun _ -> Sim.step 1.); (fun _ -> Sim.request_crash ()) |]
+  with
+  | Sim.Crashed_at _ -> ()
+  | Sim.All_done -> Alcotest.fail "expected crash"
+
+let test_no_nested_runs () =
+  match
+    Sim.run [| (fun _ -> ignore (Sim.run [| (fun _ -> ()) |] : Sim.outcome)) |]
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "nested run must be rejected"
+
+let test_exception_escapes_cleanly () =
+  (match Sim.run [| (fun _ -> failwith "boom") |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception should propagate");
+  (* the engine must not leak its context *)
+  Alcotest.(check bool) "not in sim" false (Sim.in_sim ());
+  Sim.step 5. (* must be a no-op, not an unhandled effect *)
+
+let test_step_limit () =
+  (* a livelocked fiber must abort the run instead of hanging it *)
+  (match
+     Sim.run ~step_limit:1000
+       [| (fun _ -> while true do Sim.step 1. done) |]
+   with
+  | exception Sim.Step_limit -> ()
+  | _ -> Alcotest.fail "expected Step_limit");
+  Alcotest.(check bool) "engine clean" false (Sim.in_sim ());
+  (* generous limits do not fire *)
+  match Sim.run ~step_limit:1000 [| (fun _ -> Sim.step 1.) |] with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash"
+
+let test_many_threads () =
+  let n = 60 in
+  let done_ = Array.make n false in
+  ignore
+    (Sim.run ~policy:`Perf
+       (Array.init n (fun i _ ->
+            for _ = 1 to 50 do
+              Sim.step 3.
+            done;
+            done_.(i) <- true))
+      : Sim.outcome);
+  Alcotest.(check bool) "all completed" true (Array.for_all Fun.id done_)
+
+let suite =
+  [
+    Alcotest.test_case "runs all threads" `Quick test_runs_all;
+    Alcotest.test_case "tid and in_sim" `Quick test_tid_and_in_sim;
+    Alcotest.test_case "clock accounting" `Quick test_clock_accounting;
+    Alcotest.test_case "perf policy follows virtual clocks" `Quick
+      test_perf_policy_interleaves_by_clock;
+    Alcotest.test_case "random policy deterministic per seed" `Quick
+      test_random_policy_deterministic_per_seed;
+    Alcotest.test_case "crash at a chosen step" `Quick test_crash_at_step;
+    Alcotest.test_case "crash unwinds fibers" `Quick
+      test_crash_unwinds_with_exception;
+    Alcotest.test_case "request_crash" `Quick test_request_crash;
+    Alcotest.test_case "nested runs rejected" `Quick test_no_nested_runs;
+    Alcotest.test_case "escaping exception leaves engine clean" `Quick
+      test_exception_escapes_cleanly;
+    Alcotest.test_case "step-limit watchdog" `Quick test_step_limit;
+    Alcotest.test_case "sixty threads" `Quick test_many_threads;
+  ]
