@@ -1,0 +1,16 @@
+# Tier-1 verification: everything CI runs.
+.PHONY: check build test clean figures
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+clean:
+	dune clean
+
+figures:
+	dune exec bin/repro.exe -- figures --quick

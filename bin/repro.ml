@@ -125,7 +125,21 @@ let crash_cmd =
   let key_range =
     Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key range size.")
   in
-  let run algo mix seeds threads ops crashes key_range =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL event trace of the whole campaign to $(docv).")
+  in
+  let repro_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On failure, save a replayable repro to $(docv).")
+  in
+  let run algo mix seeds threads ops crashes key_range trace repro_file =
     if algo.Set_intf.fname = "harris" then begin
       Format.printf "harris is volatile: it cannot recover from crashes@.";
       exit 1
@@ -145,7 +159,13 @@ let crash_cmd =
           max_crashes = crashes;
         }
     in
-    match Crashes.run_campaign cfg ~seeds:(List.init seeds Fun.id) with
+    let campaign () =
+      Crashes.run_campaign ?repro_file cfg ~seeds:(List.init seeds Fun.id)
+    in
+    let result =
+      match trace with Some p -> Trace.with_file p campaign | None -> campaign ()
+    in
+    match result with
     | Ok (n, o) ->
         Format.printf
           "%s: %d runs passed — %d operations, %d recovered through crashes, \
@@ -154,12 +174,91 @@ let crash_cmd =
           o.Crashes.crashes
     | Error msg ->
         Format.printf "DETECTABILITY VIOLATION — %s@." msg;
+        (match repro_file with
+        | Some p -> Format.printf "repro saved to %s@." p
+        | None -> ());
         exit 1
   in
   Cmd.v
     (Cmd.info "crash"
        ~doc:"Crash-injection campaign with detectability checking.")
-    Term.(const run $ algo $ mix $ seeds $ threads $ ops $ crashes $ key_range)
+    Term.(
+      const run $ algo $ mix $ seeds $ threads $ ops $ crashes $ key_range
+      $ trace $ repro_file)
+
+(* -- replay --------------------------------------------------------------- *)
+
+let replay_run file do_shrink out trace =
+  match Repro.load file with
+  | Error msg ->
+      Format.printf "cannot load %s: %s@." file msg;
+      exit 2
+  | Ok r ->
+      Format.printf "%a@." Repro.pp r;
+      let r =
+        if not do_shrink then r
+        else begin
+          let r' = Crashes.shrink r in
+          Format.printf "shrunk to: threads=%d ops/thread=%d rounds=%d@."
+            r'.Repro.threads r'.Repro.ops_per_thread
+            (List.length r'.Repro.rounds);
+          r'
+        end
+      in
+      (match out with
+      | Some p ->
+          Repro.save p r;
+          Format.printf "wrote %s@." p
+      | None -> ());
+      let go () = Crashes.replay r in
+      let result =
+        match trace with Some p -> Trace.with_file p go | None -> go ()
+      in
+      (match result with
+      | Error msg when String.equal msg r.Repro.error ->
+          Format.printf "reproduced: %s@." msg
+      | Error msg ->
+          Format.printf "reproduced a DIFFERENT failure: %s@." msg;
+          Format.printf "(recorded: %s)@." r.Repro.error;
+          exit 1
+      | Ok () ->
+          Format.printf "did NOT reproduce — the replay passed@.";
+          exit 1)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Repro file written by the crash command.")
+  in
+  let shrinkf =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily minimize the repro (fewer threads, fewer ops, \
+                earlier crash) before replaying.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the (possibly shrunk) repro back out to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL event trace of the replay to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically replay (and optionally shrink) a saved \
+          failing-campaign repro.")
+    Term.(const replay_run $ file $ shrinkf $ out $ trace)
 
 (* -- soak ----------------------------------------------------------------- *)
 
@@ -230,8 +329,25 @@ let () =
     "Reproduction of 'Detectable Recovery of Lock-Free Data Structures' \
      (PPoPP 2022) on a simulated multicore with NVMM."
   in
+  (* [repro --replay FILE] works without naming the subcommand. *)
+  let default =
+    let replay_opt =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "replay" ] ~docv:"FILE"
+            ~doc:"Replay a saved repro $(docv) (same as the replay command).")
+    in
+    Term.(
+      ret
+        (const (function
+           | Some f -> `Ok (replay_run f false None None)
+           | None -> `Help (`Pager, None))
+        $ replay_opt))
+  in
   exit
     (Cmd.eval
-       (Cmd.group
+       (Cmd.group ~default
           (Cmd.info "repro" ~doc)
-          [ figures_cmd; sweep_cmd; crash_cmd; soak_cmd; classify_cmd ]))
+          [ figures_cmd; sweep_cmd; crash_cmd; replay_cmd; soak_cmd;
+            classify_cmd ]))

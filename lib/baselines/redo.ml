@@ -195,6 +195,19 @@ let combine t =
   Pmem.psync t.s.batch_sync;
   if t.since_ckpt >= t.checkpoint_every then checkpoint t
 
+let rec await t id seq =
+  let r = Pmem.read t.res.(id) in
+  if r.pseq = seq then r.pval
+  else if Pmem.cas t.lock 0 1 then begin
+    combine t;
+    Pmem.write t.lock 0;
+    await t id seq
+  end
+  else begin
+    Sim.advance 60.;
+    await t id seq
+  end
+
 let run_op t kop =
   let id = tid () in
   (* system support: crash-atomically mark the invocation un-announced *)
@@ -205,20 +218,7 @@ let run_op t kop =
   Pmem.write t.started.(id) 1;
   Pmem.pwb_f t.s.ann_pwb t.ann.(id);
   Pmem.psync t.s.ann_sync;
-  let rec wait () =
-    let r = Pmem.read t.res.(id) in
-    if r.pseq = seq then r.pval
-    else if Pmem.cas t.lock 0 1 then begin
-      combine t;
-      Pmem.write t.lock 0;
-      wait ()
-    end
-    else begin
-      Sim.advance 60.;
-      wait ()
-    end
-  in
-  wait ()
+  await t id seq
 
 let insert t k = run_op t (Ins k)
 let delete t k = run_op t (Del k)
@@ -255,8 +255,15 @@ let recover t kop =
   let a = Pmem.read t.ann.(id) in
   t.seqs.(id) <- max t.seqs.(id) a.qseq;
   let r = Pmem.read t.res.(id) in
-  if Pmem.read t.started.(id) = 1 && a.qop = kop && r.pseq = a.qseq then
-    r.pval
+  if Pmem.read t.started.(id) = 1 && a.qop = kop then
+    if r.pseq = a.qseq then r.pval
+    else
+      (* The durable announcement is still in flight: a combiner may pick
+         it up at any moment, so re-announcing under a fresh sequence
+         number could execute the operation twice, with the first
+         response silently dropped.  Await the existing announcement —
+         the wait loop self-combines, so it also guarantees progress. *)
+      await t id a.qseq
   else apply t kop
 
 let to_list t =

@@ -12,11 +12,51 @@ type outcome = {
   crashes : int;
 }
 
-let run_once cfg ~seed =
+let repro_of cfg ~seed ~error ~rounds =
+  {
+    Repro.algo = cfg.factory.Set_intf.fname;
+    threads = cfg.threads;
+    ops_per_thread = cfg.ops_per_thread;
+    find_pct = cfg.workload.Workload.mix.Workload.find_pct;
+    key_range = cfg.workload.Workload.key_range;
+    prefill = cfg.workload.Workload.prefill_n;
+    max_crashes = cfg.max_crashes;
+    seed;
+    error;
+    rounds;
+  }
+
+let config_of (r : Repro.t) =
+  match Set_intf.by_name r.algo with
+  | None -> Error (Printf.sprintf "repro references unknown algorithm %S" r.algo)
+  | Some factory -> (
+      match Workload.mix_of_find_pct r.find_pct with
+      | exception Invalid_argument _ ->
+          Error (Printf.sprintf "repro has invalid find-pct %d" r.find_pct)
+      | mix ->
+          Ok
+            {
+              factory;
+              threads = r.threads;
+              ops_per_thread = r.ops_per_thread;
+              workload =
+                {
+                  Workload.mix;
+                  key_range = r.key_range;
+                  prefill_n = r.prefill;
+                };
+              max_crashes = r.max_crashes;
+            })
+
+(* One seeded run.  [script] forces the crash point and replays the
+   recorded schedule of its rounds (later rounds run free); the returned
+   round log always reflects what actually happened, so a failure can be
+   replayed — or shrunk — from it. *)
+let run_logged ?(script = []) cfg ~seed =
   Pmem.reset_pending ();
   Pstats.set_all_enabled true;
   let rng = Random.State.make [| seed; 0xC2A5 |] in
-  let heap = Pmem.heap ~name:cfg.factory.fname () in
+  let heap = Pmem.heap ~name:cfg.factory.Set_intf.fname () in
   let algo = cfg.factory.make heap ~threads:cfg.threads in
   Workload.prefill rng cfg.workload algo;
   Pmem.reset_pending ();
@@ -68,53 +108,184 @@ let run_once cfg ~seed =
     if !crashes >= cfg.max_crashes then -1
     else 1 + Random.State.int rng (max 2 (crash_budget_steps / (round + 1)))
   in
-  let rec rounds round bodies =
-    if round > 50 * cfg.max_crashes + 50 then Error "campaign did not converge"
-    else
-      match
+  let script = Array.of_list script in
+  let log = ref [] in (* Repro.round list, newest first *)
+  let run_round ~kind round bodies =
+    (* The rng draw happens even when the script overrides the crash
+       point, so a full-script replay consumes the harness rng in exactly
+       the recorded pattern (Pmem.crash draws stay aligned). *)
+    let picked = next_crash_at round in
+    let forced = if round < Array.length script then Some script.(round) else None in
+    let crash_at =
+      match forced with Some r -> r.Repro.crash_at | None -> picked
+    in
+    let schedule =
+      match forced with Some r -> r.Repro.schedule | None -> [||]
+    in
+    let picks = ref [] in
+    Trace.round ~kind round;
+    Fun.protect
+      ~finally:(fun () ->
+        log :=
+          { Repro.kind; crash_at; schedule = Array.of_list (List.rev !picks) }
+          :: !log)
+      (fun () ->
         Sim.run ~policy:`Random
           ~seed:(seed * 31 + round)
-          ~crash_at:(next_crash_at round) ~step_limit bodies
-      with
+          ~crash_at ~step_limit ~schedule
+          ~record:(fun tid -> picks := tid :: !picks)
+          bodies)
+  in
+  let rec rounds ~kind round bodies =
+    if round > 50 * cfg.max_crashes + 50 then Error "campaign did not converge"
+    else
+      match run_round ~kind round bodies with
       | Sim.All_done ->
           if Array.exists (fun o -> o <> None) pending then
             (* recovery itself crashed: recover again *)
-            rounds (round + 1) (Array.init cfg.threads recoverer)
+            rounds ~kind:`Recover (round + 1) (Array.init cfg.threads recoverer)
           else if Array.exists (fun r -> !r <> []) remaining then
-            rounds (round + 1) (Array.init cfg.threads worker)
+            rounds ~kind:`Work (round + 1) (Array.init cfg.threads worker)
           else Ok ()
       | Sim.Crashed_at _ ->
           incr crashes;
           Pmem.crash ~rng heap;
           algo.Set_intf.recover_structure ();
-          rounds (round + 1) (Array.init cfg.threads recoverer)
+          rounds ~kind:`Recover (round + 1) (Array.init cfg.threads recoverer)
   in
-  match rounds 0 (Array.init cfg.threads worker) with
-  | Error _ as e -> e
-  | exception Pmem.Poisoned what ->
-      Error (Printf.sprintf "touched never-persisted data: %s" what)
-  | exception Sim.Step_limit ->
-      Error "step budget exhausted: livelock or starvation suspected"
-  | Ok () -> (
-      match algo.Set_intf.check () with
-      | Error msg -> Error ("structure invariant: " ^ msg)
-      | Ok () -> (
-          let final = algo.Set_intf.contents () in
-          match Oracle.check ~initial ~final (List.rev !events) with
-          | Error msg -> Error ("oracle: " ^ msg)
-          | Ok () ->
-              Ok
-                {
-                  completed_ops = List.length !events;
-                  recovered_ops = !recovered;
-                  crashes = !crashes;
-                }))
+  let result =
+    match rounds ~kind:`Work 0 (Array.init cfg.threads worker) with
+    | Error _ as e -> e
+    | exception Pmem.Poisoned what ->
+        Error (Printf.sprintf "touched never-persisted data: %s" what)
+    | exception Sim.Step_limit ->
+        Error "step budget exhausted: livelock or starvation suspected"
+    | Ok () -> (
+        match algo.Set_intf.check () with
+        | Error msg -> Error ("structure invariant: " ^ msg)
+        | Ok () -> (
+            let final = algo.Set_intf.contents () in
+            match Oracle.check ~initial ~final (List.rev !events) with
+            | Error msg -> Error ("oracle: " ^ msg)
+            | Ok () ->
+                Ok
+                  {
+                    completed_ops = List.length !events;
+                    recovered_ops = !recovered;
+                    crashes = !crashes;
+                  }))
+  in
+  (match result with
+  | Error msg -> Trace.note ("FAILURE: " ^ msg)
+  | Ok _ -> ());
+  (result, List.rev !log)
 
-let run_campaign cfg ~seeds =
+let run_once ?script ?repro_file cfg ~seed =
+  let result, rounds = run_logged ?script cfg ~seed in
+  (match (result, repro_file) with
+  | Error error, Some path -> Repro.save path (repro_of cfg ~seed ~error ~rounds)
+  | _ -> ());
+  result
+
+let replay (r : Repro.t) =
+  match config_of r with
+  | Error _ as e -> e
+  | Ok cfg -> (
+      match run_logged ~script:r.rounds cfg ~seed:r.seed with
+      | Ok _, _ -> Ok ()
+      | Error e, _ -> Error e)
+
+(* ---- greedy shrinking -------------------------------------------------- *)
+
+(* Minimize a failing campaign: fewer threads, fewer ops per thread, then
+   an earlier first crash point — each move kept only if some probe run
+   still fails.  Probing a handful of seeds per candidate makes the
+   shrinker effective on schedule-dependent failures without giving up
+   determinism: the result carries the exact seed, crash points and
+   schedules of the shrunk failure, so it replays bit-for-bit. *)
+let shrink ?(budget = 500) (r : Repro.t) =
+  let runs = ref 0 in
+  let attempt (cand : Repro.t) ~scripts =
+    match config_of cand with
+    | Error _ -> None
+    | Ok cfg ->
+        let seeds = cand.seed :: List.init 7 (fun i -> cand.seed + i + 1) in
+        List.find_map
+          (fun seed ->
+            List.find_map
+              (fun script ->
+                if !runs >= budget then None
+                else begin
+                  incr runs;
+                  match run_logged ~script cfg ~seed with
+                  | Ok _, _ -> None
+                  | Error error, rounds ->
+                      Some (repro_of cfg ~seed ~error ~rounds)
+                end)
+              scripts)
+          seeds
+  in
+  (* Candidates get a free run plus forced early crash points scaled to
+     their size: a small config finishes in few steps, so the harness's
+     unconstrained crash draw usually lands after the run already ended
+     and the probe passes vacuously. *)
+  let free_and_forced (cand : Repro.t) =
+    let b = cand.Repro.threads * cand.Repro.ops_per_thread * 300 in
+    let forced c = [ { Repro.kind = `Work; crash_at = c; schedule = [||] } ] in
+    [ []; forced (max 2 (b / 40)); forced (max 2 (b / 10)) ]
+  in
+  let cur = ref r in
+  let improved = ref true in
+  while !improved && !runs < budget do
+    improved := false;
+    let adopt = function
+      | Some r' ->
+          cur := r';
+          improved := true;
+          true
+      | None -> false
+    in
+    (* fewer threads (config change invalidates the recorded schedule) *)
+    let t = !cur.Repro.threads in
+    if t > 1 then
+      ignore
+        (List.exists
+           (fun t' ->
+             let cand = { !cur with Repro.threads = t' } in
+             adopt (attempt cand ~scripts:(free_and_forced cand)))
+           (if t > 3 then [ max 1 (t / 2); t - 1 ] else [ t - 1 ])
+          : bool);
+    (* fewer operations per thread *)
+    let ops = !cur.Repro.ops_per_thread in
+    if ops > 1 then
+      ignore
+        (List.exists
+           (fun ops' ->
+             let cand = { !cur with Repro.ops_per_thread = ops' } in
+             adopt (attempt cand ~scripts:(free_and_forced cand)))
+           (if ops > 3 then [ max 1 (ops / 2); ops - 1 ] else [ ops - 1 ])
+          : bool);
+    (* earlier first crash point, forced through the script *)
+    (match !cur.Repro.rounds with
+    | { Repro.kind = `Work; crash_at; _ } :: _ when crash_at > 2 ->
+        ignore
+          (List.exists
+             (fun c ->
+               adopt
+                 (attempt !cur
+                    ~scripts:
+                      [ [ { Repro.kind = `Work; crash_at = c; schedule = [||] } ] ]))
+             [ crash_at / 2; crash_at - 1 ]
+            : bool)
+    | _ -> ())
+  done;
+  !cur
+
+let run_campaign ?repro_file cfg ~seeds =
   let rec go acc n = function
     | [] -> Ok (n, acc)
     | seed :: rest -> (
-        match run_once cfg ~seed with
+        match run_once ?repro_file cfg ~seed with
         | Error msg -> Error (Printf.sprintf "seed %d: %s" seed msg)
         | Ok o ->
             go

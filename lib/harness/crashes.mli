@@ -10,7 +10,11 @@
 
     The run passes iff no poisoned (never-persisted) data is touched, the
     structure's invariants hold, and the full set of responses — completed
-    plus recovered — satisfies the per-key oracle. *)
+    plus recovered — satisfies the per-key oracle.
+
+    Every run records its rounds (crash point + schedule); a failing run
+    can be saved as a {!Repro.t}, replayed bit-for-bit, and greedily
+    {!shrink}-minimized. *)
 
 type config = {
   factory : Set_intf.factory;
@@ -26,9 +30,49 @@ type outcome = {
   crashes : int;
 }
 
-val run_once : config -> seed:int -> (outcome, string) result
-(** One seeded run; [Error] describes the first detected violation. *)
+val run_once :
+  ?script:Repro.round list ->
+  ?repro_file:string ->
+  config ->
+  seed:int ->
+  (outcome, string) result
+(** One seeded run; [Error] describes the first detected violation.
+    [script] forces the crash point and replays the recorded schedule of
+    its rounds (later rounds run free).  With [repro_file], a failing run
+    writes a replayable {!Repro.t} there. *)
 
-val run_campaign : config -> seeds:int list -> (int * outcome, string) result
+val run_logged :
+  ?script:Repro.round list ->
+  config ->
+  seed:int ->
+  (outcome, string) result * Repro.round list
+(** Like {!run_once}, also returning the recorded round log (crash point
+    and schedule per simulator round) — the raw material of a repro. *)
+
+val run_campaign :
+  ?repro_file:string ->
+  config ->
+  seeds:int list ->
+  (int * outcome, string) result
 (** All seeds; returns the run count and accumulated outcome, or the
-    seed's error message prefixed with the seed. *)
+    seed's error message prefixed with the seed.  [repro_file] is passed
+    through to {!run_once}. *)
+
+val repro_of :
+  config -> seed:int -> error:string -> rounds:Repro.round list -> Repro.t
+
+val config_of : Repro.t -> (config, string) result
+(** Resolve a repro back to a runnable configuration ([Error] if the
+    factory name is unknown). *)
+
+val replay : Repro.t -> (unit, string) result
+(** Re-run a repro with its recorded crash points and schedules forced.
+    [Error] is the reproduced failure — for a faithful repro it equals
+    [r.error]; [Ok ()] means the failure did {e not} reproduce. *)
+
+val shrink : ?budget:int -> Repro.t -> Repro.t
+(** Greedily minimize a failing repro: fewer threads, fewer ops per
+    thread, earlier first crash point — each move kept only if a probe
+    run (free or with a forced early crash scaled to the candidate's
+    size) still fails.  [budget] bounds the total number of probe runs
+    (default 500).  The result is itself a faithful, replayable repro. *)

@@ -1,0 +1,158 @@
+(* Replay files for failing crash campaigns.
+
+   A repro captures everything a campaign run depends on: the workload
+   configuration, the campaign seed, and — per simulator round — the
+   crash point used and the recorded scheduling decisions.  Feeding the
+   rounds back through [Crashes.run_once ~script] replays the failure
+   bit-for-bit; the format is line-based and documented in DESIGN.md
+   ("Replay-file format"). *)
+
+type round = {
+  kind : [ `Work | `Recover ];
+  crash_at : int;  (* the crash_at parameter of that Sim.run; -1 = none *)
+  schedule : int array;  (* tid picked at each scheduling decision *)
+}
+
+type t = {
+  algo : string;
+  threads : int;
+  ops_per_thread : int;
+  find_pct : int;
+  key_range : int;
+  prefill : int;
+  max_crashes : int;
+  seed : int;
+  error : string;
+  rounds : round list;
+}
+
+let magic = "tracking-nvm-repro v1"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let kind_name = function `Work -> "work" | `Recover -> "recover"
+
+let schedule_string sched =
+  if Array.length sched = 0 then "-"
+  else
+    String.concat ","
+      (Array.to_list (Array.map string_of_int sched))
+
+let pp ppf r =
+  Format.fprintf ppf "%s@." magic;
+  Format.fprintf ppf "algo %s@." r.algo;
+  Format.fprintf ppf "threads %d@." r.threads;
+  Format.fprintf ppf "ops-per-thread %d@." r.ops_per_thread;
+  Format.fprintf ppf "find-pct %d@." r.find_pct;
+  Format.fprintf ppf "key-range %d@." r.key_range;
+  Format.fprintf ppf "prefill %d@." r.prefill;
+  Format.fprintf ppf "max-crashes %d@." r.max_crashes;
+  Format.fprintf ppf "seed %d@." r.seed;
+  Format.fprintf ppf "error %s@." (one_line r.error);
+  List.iter
+    (fun rd ->
+      Format.fprintf ppf "round %s %d %s@." (kind_name rd.kind) rd.crash_at
+        (schedule_string rd.schedule))
+    r.rounds
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp ppf r;
+      Format.pp_print_flush ppf ())
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+let parse_schedule = function
+  | "-" | "" -> Ok [||]
+  | s -> (
+      let parts = String.split_on_char ',' s in
+      try Ok (Array.of_list (List.map int_of_string parts))
+      with Failure _ -> Error (Printf.sprintf "bad schedule %S" s))
+
+let parse_round line =
+  match String.split_on_char ' ' line with
+  | [ kind; crash_at; sched ] -> (
+      let kind =
+        match kind with
+        | "work" -> Ok `Work
+        | "recover" -> Ok `Recover
+        | k -> Error (Printf.sprintf "bad round kind %S" k)
+      in
+      match (kind, int_of_string_opt crash_at, parse_schedule sched) with
+      | Ok kind, Some crash_at, Ok schedule -> Ok { kind; crash_at; schedule }
+      | (Error _ as e), _, _ -> e
+      | _, None, _ -> Error (Printf.sprintf "bad crash point %S" crash_at)
+      | _, _, (Error _ as e) -> e)
+  | _ -> Error (Printf.sprintf "bad round line %S" line)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | [] -> Error "empty repro file"
+  | first :: _ when first <> magic ->
+      Error (Printf.sprintf "not a repro file (expected %S)" magic)
+  | _ :: lines -> (
+      let r =
+        ref
+          {
+            algo = "";
+            threads = 0;
+            ops_per_thread = 0;
+            find_pct = 0;
+            key_range = 0;
+            prefill = 0;
+            max_crashes = 0;
+            seed = 0;
+            error = "";
+            rounds = [];
+          }
+      in
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      let int_field set v =
+        match int_of_string_opt v with
+        | Some n -> r := set !r n
+        | None -> fail (Printf.sprintf "bad integer %S" v)
+      in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line <> "" then
+            let key, value =
+              match String.index_opt line ' ' with
+              | None -> (line, "")
+              | Some i ->
+                  ( String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1) )
+            in
+            match key with
+            | "algo" -> r := { !r with algo = value }
+            | "threads" -> int_field (fun r n -> { r with threads = n }) value
+            | "ops-per-thread" ->
+                int_field (fun r n -> { r with ops_per_thread = n }) value
+            | "find-pct" -> int_field (fun r n -> { r with find_pct = n }) value
+            | "key-range" ->
+                int_field (fun r n -> { r with key_range = n }) value
+            | "prefill" -> int_field (fun r n -> { r with prefill = n }) value
+            | "max-crashes" ->
+                int_field (fun r n -> { r with max_crashes = n }) value
+            | "seed" -> int_field (fun r n -> { r with seed = n }) value
+            | "error" -> r := { !r with error = value }
+            | "round" -> (
+                match parse_round value with
+                | Ok rd -> r := { !r with rounds = !r.rounds @ [ rd ] }
+                | Error e -> fail e)
+            | k -> fail (Printf.sprintf "unknown field %S" k))
+        lines;
+      match !err with
+      | Some e -> Error e
+      | None ->
+          let r = !r in
+          if r.algo = "" then Error "missing algo field"
+          else if r.threads <= 0 then Error "missing/invalid threads field"
+          else Ok r)

@@ -1,0 +1,32 @@
+(** Replay files for failing crash campaigns.
+
+    A repro captures the workload configuration, the campaign seed, the
+    failure message, and — per simulator round — the crash point used and
+    the recorded schedule (the tid picked at every scheduling decision).
+    [Crashes.replay] feeds the rounds back through the simulator's
+    schedule-replay support, reproducing the failure bit-for-bit; the
+    line-based file format is documented in DESIGN.md. *)
+
+type round = {
+  kind : [ `Work | `Recover ];
+  crash_at : int;
+      (** the [crash_at] parameter that round's [Sim.run] used; -1 = none *)
+  schedule : int array;  (** tid picked at each scheduling decision *)
+}
+
+type t = {
+  algo : string;  (** factory name, resolved via {!Set_intf.by_name} *)
+  threads : int;
+  ops_per_thread : int;
+  find_pct : int;
+  key_range : int;
+  prefill : int;
+  max_crashes : int;
+  seed : int;
+  error : string;  (** the failure the file reproduces *)
+  rounds : round list;
+}
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

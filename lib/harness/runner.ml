@@ -6,6 +6,7 @@ type point = {
   ops : int;
   pwbs_per_op : float;
   psyncs_per_op : float;
+  pfences_per_op : float;
   low_frac : float;
   medium_frac : float;
   high_frac : float;
@@ -52,7 +53,8 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
     throughput_mops = float_of_int total_ops /. duration_ns *. 1000.;
     ops = total_ops;
     pwbs_per_op = per t.Pstats.pwbs;
-    psyncs_per_op = per (t.Pstats.psyncs + t.Pstats.pfences);
+    psyncs_per_op = per t.Pstats.psyncs;
+    pfences_per_op = per t.Pstats.pfences;
     low_frac = frac t.Pstats.low;
     medium_frac = frac t.Pstats.medium;
     high_frac = frac t.Pstats.high;
@@ -60,7 +62,7 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
 
 let pp_point ppf p =
   Format.fprintf ppf
-    "%-13s t=%-3d %-17s %7.3f Mops/s  ops=%-7d pwb/op=%5.1f psync/op=%4.1f  \
-     L/M/H=%.2f/%.2f/%.2f"
+    "%-13s t=%-3d %-17s %7.3f Mops/s  ops=%-7d pwb/op=%5.1f psync/op=%4.1f \
+     pfence/op=%4.1f  L/M/H=%.2f/%.2f/%.2f"
     p.algo p.threads p.mix p.throughput_mops p.ops p.pwbs_per_op
-    p.psyncs_per_op p.low_frac p.medium_frac p.high_frac
+    p.psyncs_per_op p.pfences_per_op p.low_frac p.medium_frac p.high_frac

@@ -10,7 +10,9 @@ type point = {
   throughput_mops : float;  (** completed operations per virtual µs ×1 *)
   ops : int;
   pwbs_per_op : float;
-  psyncs_per_op : float;  (** psync + pfence, as on the paper's machine *)
+  psyncs_per_op : float;  (** psyncs only (pfences were silently included
+      here once; they are now reported separately) *)
+  pfences_per_op : float;
   low_frac : float;  (** fraction of executed pwbs in each impact class *)
   medium_frac : float;
   high_frac : float;

@@ -100,6 +100,40 @@ let tracking_no_ro_opt =
         });
   }
 
+(* Negative control for the crash harness: Tracking's list with the
+   new-node pwb elided (the site is disabled right after creation, inside
+   the campaign's enable-all window).  A freshly allocated node can then
+   be linked in but never flushed, so a crash leaves reachable poisoned
+   data — campaigns MUST fail on it, which exercises the repro/replay/
+   shrink pipeline end to end. *)
+let tracking_broken =
+  {
+    fname = "tracking-broken";
+    make =
+      (fun heap ~threads ->
+        let module L = Rlist.Int in
+        let l = L.create ~prefix:"rlist-broken" heap ~threads in
+        (match Pstats.find "rlist-broken.new.pwb" with
+        | Some s -> Pstats.set_enabled s false
+        | None -> ());
+        let conv = function
+          | Ins k -> L.Insert k
+          | Del k -> L.Delete k
+          | Fnd k -> L.Find k
+        in
+        {
+          name = "tracking-broken";
+          insert = L.insert l;
+          delete = L.delete l;
+          find = L.find l;
+          recover = (fun op -> L.recover l (conv op));
+          recover_structure = (fun () -> ());
+          check = (fun () -> L.check_invariants l);
+          contents = (fun () -> L.to_list l);
+          supports_crash = true;
+        });
+  }
+
 let tracking_hash =
   {
     fname = "tracking-hash";
@@ -231,6 +265,7 @@ let all =
     tracking_bst;
     tracking_no_ro_opt;
     tracking_hash;
+    tracking_broken;
   ]
 
 let by_name n =

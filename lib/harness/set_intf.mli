@@ -40,6 +40,12 @@ val tracking_no_ro_opt : factory
 val tracking_hash : factory
 (** Hash map composed of per-bucket Tracking lists (extension). *)
 
+val tracking_broken : factory
+(** Negative control: Tracking's list with the new-node pwb elided, so
+    crash campaigns {e must} fail with poisoned-data / oracle violations.
+    Exists to prove the harness detects missing flushes and to exercise
+    the repro/replay/shrink pipeline; never plotted. *)
+
 val capsules : factory
 val capsules_opt : factory
 val romulus : factory

@@ -1,0 +1,95 @@
+(* Structured event tracing for the simulator and crash harness.
+
+   When started, installs the observability hooks of [Sim] and [Pmem] and
+   serializes every event as one JSON object per line (JSONL).  The schema
+   is documented in DESIGN.md ("Trace JSONL schema"); keep the two in
+   sync.  When no trace is active the hooks are [None] and the
+   instrumented fast paths pay a single ref read. *)
+
+let sink : out_channel option ref = ref None
+
+let active () = !sink <> None
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit fmt =
+  Printf.ksprintf
+    (fun line ->
+      match !sink with
+      | None -> ()
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n')
+    fmt
+
+let impact_name = function
+  | Pstats.Low -> "low"
+  | Pstats.Medium -> "medium"
+  | Pstats.High -> "high"
+
+let on_sim_event : Sim.trace_event -> unit = function
+  | Sim.Sched { step; tid; clock } ->
+      emit {|{"ev":"sched","step":%d,"tid":%d,"clock":%.1f}|} step tid clock
+  | Sim.Crash { step } -> emit {|{"ev":"crash","step":%d}|} step
+
+let on_pmem_event : Pmem.trace_event -> unit = function
+  | Pmem.Read { tid; line; hit } ->
+      emit {|{"ev":"read","tid":%d,"line":"%s","hit":%b}|} tid (escape line)
+        hit
+  | Pmem.Write { tid; line; hit } ->
+      emit {|{"ev":"write","tid":%d,"line":"%s","hit":%b}|} tid (escape line)
+        hit
+  | Pmem.Cas { tid; line; success } ->
+      emit {|{"ev":"cas","tid":%d,"line":"%s","ok":%b}|} tid (escape line)
+        success
+  | Pmem.Pwb { tid; site; impact } ->
+      emit {|{"ev":"pwb","tid":%d,"site":"%s","impact":"%s"}|} tid
+        (escape site) (impact_name impact)
+  | Pmem.Pfence { tid; site } ->
+      emit {|{"ev":"pfence","tid":%d,"site":"%s"}|} tid (escape site)
+  | Pmem.Psync { tid; site } ->
+      emit {|{"ev":"psync","tid":%d,"site":"%s"}|} tid (escape site)
+
+let stop () =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+      Sim.tracer := None;
+      Pmem.tracer := None;
+      sink := None;
+      flush oc;
+      if oc != stdout && oc != stderr then close_out_noerr oc
+
+let start_channel oc =
+  stop ();
+  sink := Some oc;
+  Sim.tracer := Some on_sim_event;
+  Pmem.tracer := Some on_pmem_event
+
+let start path = start_channel (open_out path)
+
+let with_file path f =
+  start path;
+  Fun.protect ~finally:stop f
+
+(* ---- harness-level boundaries ---------------------------------------- *)
+
+let round ~kind n =
+  if active () then
+    emit {|{"ev":"round","n":%d,"kind":"%s"}|} n
+      (match kind with `Work -> "work" | `Recover -> "recover")
+
+let note msg = if active () then emit {|{"ev":"note","msg":"%s"}|} (escape msg)

@@ -1,0 +1,34 @@
+(** Structured event tracing: installs the [Sim] and [Pmem] observability
+    hooks and writes one JSON object per line (JSONL).  Schema (documented
+    in DESIGN.md):
+
+    - [{"ev":"sched","step":N,"tid":T,"clock":C}] — scheduling decision
+    - [{"ev":"crash","step":N}] — system-wide crash boundary
+    - [{"ev":"read"|"write","tid":T,"line":L,"hit":B}] — memory access
+    - [{"ev":"cas","tid":T,"line":L,"ok":B}] — CAS outcome
+    - [{"ev":"pwb","tid":T,"site":S,"impact":"low"|"medium"|"high"}]
+    - [{"ev":"pfence"|"psync","tid":T,"site":S}]
+    - [{"ev":"round","n":N,"kind":"work"|"recover"}] — campaign round
+    - [{"ev":"note","msg":M}] — freeform harness marker
+
+    Tracing off (the default) costs one ref read per instrumented
+    operation and allocates nothing. *)
+
+val active : unit -> bool
+
+val start : string -> unit
+(** Open [path] (truncating) and trace into it until {!stop}. *)
+
+val start_channel : out_channel -> unit
+
+val stop : unit -> unit
+(** Uninstall hooks and close the sink ([stdout]/[stderr] are left open).
+    Idempotent. *)
+
+val with_file : string -> (unit -> 'a) -> 'a
+(** [with_file path f] traces [f ()] into [path], stopping on exit. *)
+
+val round : kind:[ `Work | `Recover ] -> int -> unit
+(** Campaign-round boundary (emitted by {!Crashes}); no-op when off. *)
+
+val note : string -> unit

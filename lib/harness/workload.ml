@@ -15,12 +15,15 @@ type config = {
 
 let default mix = { mix; key_range = 500; prefill_n = 250 }
 
+(* Drawing from [0, 200) keeps the find fraction exact while splitting the
+   non-find remainder by parity — an exactly even insert/delete split even
+   when [100 - find_pct] is odd (an integer halving there biased deletes
+   by a percentage point, drifting sets toward empty on long runs). *)
 let gen_op rng cfg =
   let k = 1 + Random.State.int rng cfg.key_range in
-  let r = Random.State.int rng 100 in
-  if r < cfg.mix.find_pct then Set_intf.Fnd k
-  else if r - cfg.mix.find_pct < (100 - cfg.mix.find_pct) / 2 then
-    Set_intf.Ins k
+  let r = Random.State.int rng 200 in
+  if r < 2 * cfg.mix.find_pct then Set_intf.Fnd k
+  else if r land 1 = 0 then Set_intf.Ins k
   else Set_intf.Del k
 
 let prefill rng cfg algo =

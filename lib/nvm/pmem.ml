@@ -2,6 +2,18 @@ exception Poisoned of string
 
 let max_threads = 62
 
+type trace_event =
+  | Read of { tid : int; line : string; hit : bool }
+  | Write of { tid : int; line : string; hit : bool }
+  | Cas of { tid : int; line : string; success : bool }
+  | Pwb of { tid : int; site : string; impact : Pstats.category }
+  | Pfence of { tid : int; site : string }
+  | Psync of { tid : int; site : string }
+
+(* Observability hook (see Harness.Trace): events are constructed only
+   when a tracer is installed, so the disabled path is one ref read. *)
+let tracer : (trace_event -> unit) option ref = ref None
+
 (* ---- machine-global state -------------------------------------------- *)
 
 type wb_entry =
@@ -127,6 +139,9 @@ let read fld =
   let c = Cost.current in
   let hit = line.sharers land bit tid <> 0 in
   line.sharers <- line.sharers lor bit tid;
+  (match !tracer with
+  | None -> ()
+  | Some f -> f (Read { tid; line = line.lname; hit }));
   Sim.step (if hit then c.cache_hit else c.cache_miss);
   fld.v
 
@@ -142,6 +157,9 @@ let write fld v =
   let c = Cost.current in
   let exclusive = line.owner = tid && line.sharers = bit tid in
   take_ownership line tid;
+  (match !tracer with
+  | None -> ()
+  | Some f -> f (Write { tid; line = line.lname; hit = exclusive }));
   Sim.step (if exclusive then c.write_hit else c.write_miss);
   fld.v <- v
 
@@ -183,7 +201,11 @@ let cas fld expected desired =
     line.wb_until <- neg_infinity
   end;
   Sim.step (base +. Float.max line_stall drain_stall);
-  if fld.v == expected then begin
+  let success = fld.v == expected in
+  (match !tracer with
+  | None -> ()
+  | Some f -> f (Cas { tid; line = line.lname; success }));
+  if success then begin
     fld.v <- desired;
     true
   end
@@ -215,7 +237,11 @@ let pwb site line =
     check_tid tid;
     let c = Cost.current in
     let now = cur_now () in
-    Pstats.record site (classify line tid now);
+    let impact = classify line tid now in
+    Pstats.record site impact;
+    (match !tracer with
+    | None -> ()
+    | Some f -> f (Pwb { tid; site = Pstats.name site; impact }));
     (* Flushing a line that is dirty in another cache, or that already has
        an in-flight write-back from another thread, pays the ping-pong
        penalty the paper associates with high-impact pwbs. *)
@@ -229,10 +255,18 @@ let pwb site line =
       else 0.
     in
     let q = pending.(tid) in
-    (* Bound the queue like a real write-pending queue: the oldest entry
-       has certainly completed once the queue is deep. *)
+    (* Bound the queue like a real write-pending queue: the oldest
+       *write-back* has certainly completed once the queue is deep.
+       Fences carry no payload, so pop through them until an Apply is
+       actually completed — popping a bare Fence would silently drop the
+       bound's invariant (and let fences accumulate unboundedly). *)
     if Queue.length q > 64 then begin
-      match Queue.pop q with Apply f -> f () | Fence -> ()
+      let rec complete_oldest () =
+        match Queue.pop q with
+        | Apply f -> f ()
+        | Fence -> if not (Queue.is_empty q) then complete_oldest ()
+      in
+      complete_oldest ()
     end;
     Queue.push (Apply (fun () -> List.iter (fun f -> f ()) line.persists)) q;
     (* the line's media write-back completes late (contention stalls),
@@ -251,6 +285,9 @@ let pfence site =
     let tid = cur_tid () in
     check_tid tid;
     Pstats.record_fence site;
+    (match !tracer with
+    | None -> ()
+    | Some f -> f (Pfence { tid; site = Pstats.name site }));
     Queue.push Fence pending.(tid);
     Sim.step Cost.current.pfence_base
   end
@@ -260,6 +297,9 @@ let psync site =
     let tid = cur_tid () in
     check_tid tid;
     Pstats.record_fence site;
+    (match !tracer with
+    | None -> ()
+    | Some f -> f (Psync { tid; site = Pstats.name site }));
     let now = cur_now () in
     let stall = Float.max 0. (wb_deadline.(tid) -. now) in
     drain_queue tid;

@@ -26,6 +26,23 @@ exception Poisoned of string
 val max_threads : int
 (** Maximum logical threads supported by the sharer bitmaps (62). *)
 
+(** {1 Observability} *)
+
+type trace_event =
+  | Read of { tid : int; line : string; hit : bool }
+  | Write of { tid : int; line : string; hit : bool }
+      (** [hit] = the access stayed in this thread's cache (exclusive) *)
+  | Cas of { tid : int; line : string; success : bool }
+  | Pwb of { tid : int; site : string; impact : Pstats.category }
+  | Pfence of { tid : int; site : string }
+  | Psync of { tid : int; site : string }
+
+val tracer : (trace_event -> unit) option ref
+(** Observability hook (see [Harness.Trace]): when set, every memory
+    access and persistence instruction is reported.  Events are only
+    constructed when a tracer is installed; the disabled path is a single
+    ref read per access. *)
+
 (** {1 Heaps} *)
 
 type heap

@@ -42,6 +42,7 @@ let make kind name =
 
 let name s = s.name
 let kind s = s.kind
+let find n = Hashtbl.find_opt registry n
 let enabled s = s.enabled
 let set_enabled s b = s.enabled <- b
 let sites () = List.rev !ordered

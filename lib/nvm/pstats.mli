@@ -19,6 +19,10 @@ val make : kind -> string -> site
 val name : site -> string
 val kind : site -> kind
 
+val find : string -> site option
+(** Look an already-registered site up by name (e.g. to disable one
+    specific pwb — the harness' elided-flush negative controls). *)
+
 val enabled : site -> bool
 val set_enabled : site -> bool -> unit
 

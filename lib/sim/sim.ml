@@ -5,6 +5,15 @@ type outcome =
   | All_done
   | Crashed_at of int
 
+type trace_event =
+  | Sched of { step : int; tid : int; clock : float }
+  | Crash of { step : int }
+
+(* Observability hook: when set, the engine reports every scheduling
+   decision and the crash boundary.  The event is only constructed when a
+   tracer is installed, so the disabled path costs one ref read. *)
+let tracer : (trace_event -> unit) option ref = ref None
+
 type status = Done | Suspended
 
 type fiber =
@@ -26,6 +35,14 @@ type engine = {
   crash_at : int; (* -1 = never *)
   step_limit : int; (* -1 = unlimited *)
   mutable crashing : bool;
+  mutable aborting : bool; (* step limit hit: tear every fiber down *)
+  (* Replay: tids to pick at each random-policy scheduling decision,
+     recorded by [record] in an earlier run.  Picks beyond the array (or
+     of tids that are not ready, after a divergence) fall back to the
+     seeded rng. *)
+  replay : int array;
+  mutable replay_pos : int;
+  record : (int -> unit) option;
 }
 
 type ctx = {
@@ -90,10 +107,31 @@ let heap_pop_min e =
   end;
   top
 
+let ready_index_of_tid e tid =
+  let n = e.ready_len in
+  let found = ref (-1) in
+  for j = 0 to n - 1 do
+    if !found < 0 then begin
+      let _, _, slot = e.ready.(j) in
+      match e.slots.(slot) with
+      | Some (t, _) when t = tid -> found := j
+      | _ -> ()
+    end
+  done;
+  !found
+
 let pop_random e =
   let n = e.ready_len in
   assert (n > 0);
-  let i = Random.State.int e.rng n in
+  let replayed =
+    if e.replay_pos >= Array.length e.replay then -1
+    else begin
+      let want = e.replay.(e.replay_pos) in
+      e.replay_pos <- e.replay_pos + 1;
+      ready_index_of_tid e want
+    end
+  in
+  let i = if replayed >= 0 then replayed else Random.State.int e.rng n in
   let entry = e.ready.(i) in
   e.ready.(i) <- e.ready.(n - 1);
   e.ready_len <- n - 1;
@@ -121,9 +159,10 @@ let dequeue e =
   let _, _, slot = if e.policy = `Perf then heap_pop_min e else pop_random e in
   match e.slots.(slot) with
   | None -> assert false
-  | Some pair ->
+  | Some ((tid, _) as pair) ->
       e.slots.(slot) <- None;
       e.free_slots <- slot :: e.free_slots;
+      (match e.record with None -> () | Some f -> f tid);
       pair
 
 (* ---- public accessors ------------------------------------------------ *)
@@ -172,15 +211,23 @@ let step cost =
         Effect.perform Yield
       end
 
+let mark_crashing e =
+  if not e.crashing then begin
+    e.crashing <- true;
+    match !tracer with
+    | None -> ()
+    | Some f -> f (Crash { step = e.steps })
+  end
+
 let request_crash () =
   let c = ctx_exn () in
-  c.engine.crashing <- true;
+  mark_crashing c.engine;
   raise Crashed
 
 (* ---- the driver ------------------------------------------------------ *)
 
 let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
-    bodies =
+    ?(schedule = [||]) ?record bodies =
   if in_sim () then failwith "Sim.run: nested runs are not supported";
   let n = Array.length bodies in
   let e =
@@ -197,6 +244,10 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       crash_at;
       step_limit;
       crashing = false;
+      aborting = false;
+      replay = schedule;
+      replay_pos = 0;
+      record;
     }
   in
   let contexts =
@@ -217,14 +268,25 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
                   e.clocks.(i) <- e.clocks.(i) +. c.pending_cost;
                   c.pending_cost <- 0.;
                   e.steps <- e.steps + 1;
-                  if e.step_limit >= 0 && e.steps > e.step_limit then
-                    raise Step_limit;
-                  if e.crash_at >= 0 && e.steps >= e.crash_at then
-                    e.crashing <- true;
-                  if e.crashing then Effect.Deep.discontinue k Crashed
+                  if
+                    e.aborting
+                    || (e.step_limit >= 0 && e.steps > e.step_limit)
+                  then begin
+                    (* Unwind this fiber here (its finalizers run);
+                       [exnc] re-raises into the driver loop, which
+                       tears the remaining fibers down before letting
+                       Step_limit escape. *)
+                    e.aborting <- true;
+                    Effect.Deep.discontinue k Step_limit
+                  end
                   else begin
-                    enqueue e i (Cont k);
-                    Suspended
+                    if e.crash_at >= 0 && e.steps >= e.crash_at then
+                      mark_crashing e;
+                    if e.crashing then Effect.Deep.discontinue k Crashed
+                    else begin
+                      enqueue e i (Cont k);
+                      Suspended
+                    end
                   end)
           | _ -> None);
     }
@@ -247,6 +309,10 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       end
       else begin
         current := Some contexts.(i);
+        (match !tracer with
+        | None -> ()
+        | Some f ->
+            f (Sched { step = e.steps; tid = i; clock = e.clocks.(i) }));
         (match fiber with
         | Thunk f -> ignore (f () : status)
         | Cont k -> ignore (Effect.Deep.continue k () : status));
@@ -255,5 +321,28 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       end
     end
   in
-  Fun.protect ~finally:(fun () -> current := None) loop;
+  (* An exception escaping a fiber (Step_limit, a test failure, ...) must
+     not abandon the other suspended fibers undiscontinued: unwind each so
+     their finalizers run, then re-raise. *)
+  let teardown () =
+    e.aborting <- true;
+    while e.ready_len > 0 do
+      let i, fiber = dequeue e in
+      match fiber with
+      | Thunk _ -> () (* never started: nothing to unwind *)
+      | Cont k ->
+          current := Some contexts.(i);
+          (try ignore (Effect.Deep.discontinue k Step_limit : status)
+           with _ -> ());
+          current := None
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () ->
+      try loop ()
+      with exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        teardown ();
+        Printexc.raise_with_backtrace exn bt);
   if e.crashing then Crashed_at e.steps else All_done

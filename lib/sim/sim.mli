@@ -29,18 +29,37 @@ type outcome =
   | Crashed_at of int
       (** a crash interrupted the run at this global step index *)
 
+type trace_event =
+  | Sched of { step : int; tid : int; clock : float }
+      (** fiber [tid] was dispatched at global step [step] *)
+  | Crash of { step : int }  (** the system-wide crash boundary *)
+
+val tracer : (trace_event -> unit) option ref
+(** Observability hook (see {!Harness.Trace}): when set, the engine calls
+    it on every scheduling decision and at the crash boundary.  The
+    disabled path costs a single ref read per dispatch — no allocation. *)
+
 val run :
   ?policy:[ `Perf | `Random ] ->
   ?seed:int ->
   ?crash_at:int ->
   ?step_limit:int ->
+  ?schedule:int array ->
+  ?record:(int -> unit) ->
   (int -> unit) array ->
   outcome
 (** [run bodies] executes [bodies.(i) i] as logical thread [i] until all
     complete or a crash triggers.  [crash_at] crashes the system at that
     global step count (a step is one {!step} call); [step_limit] makes
-    the run raise {!Step_limit} beyond that many steps.  Nested runs are
-    not allowed. *)
+    the run raise {!Step_limit} beyond that many steps — after unwinding
+    every suspended fiber, so no continuation is abandoned.  Nested runs
+    are not allowed.
+
+    [record] is called with the chosen tid at every scheduling decision;
+    feeding the recorded sequence back as [schedule] replays a
+    [`Random]-policy run bit-for-bit (picks beyond the recorded schedule,
+    or of tids no longer ready after a divergence, fall back to the
+    seeded rng). *)
 
 val in_sim : unit -> bool
 (** Whether the caller is executing inside a simulated fiber. *)

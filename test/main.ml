@@ -17,6 +17,7 @@ let () =
       ("harris", Test_harris.suite);
       ("baselines", Test_baselines.suite);
       ("crashes", Test_crashes.suite);
+      ("repro", Test_repro.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
     ]

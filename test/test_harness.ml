@@ -19,6 +19,26 @@ let test_workload_mix () =
   Alcotest.(check bool) "~70% finds" true (abs_float (frac finds -. 0.70) < 0.02);
   Alcotest.(check bool) "ins ~= del" true (abs_float (frac ins -. frac del) < 0.02)
 
+let test_workload_mix_odd_remainder () =
+  (* 75% finds leaves an odd 25% of updates: the generator must still
+     split them evenly between inserts and deletes.  An integer halving
+     here used to give deletes the extra percentage point, drifting sets
+     toward empty on long runs. *)
+  let cfg = Workload.default (Workload.mix_of_find_pct 75) in
+  let rng = Random.State.make [| 9 |] in
+  let n = 40_000 in
+  let finds = ref 0 and ins = ref 0 and del = ref 0 in
+  for _ = 1 to n do
+    match Workload.gen_op rng cfg with
+    | Set_intf.Fnd _ -> incr finds
+    | Set_intf.Ins _ -> incr ins
+    | Set_intf.Del _ -> incr del
+  done;
+  let frac x = float_of_int !x /. float_of_int n in
+  Alcotest.(check bool) "~75% finds" true (abs_float (frac finds -. 0.75) < 0.01);
+  Alcotest.(check bool) "even ins/del split" true
+    (abs_float (frac ins -. frac del) < 0.01)
+
 let test_prefill_fills () =
   Pmem.reset_pending ();
   let heap = Pmem.heap () in
@@ -39,7 +59,11 @@ let test_runner_sanity () =
   Alcotest.(check bool) "counts pwbs" true (p1.Runner.pwbs_per_op > 1.);
   Alcotest.(check bool) "counts psyncs" true (p1.Runner.psyncs_per_op > 1.);
   Alcotest.(check bool) "fractions sum to 1" true
-    (abs_float (p1.Runner.low_frac +. p1.Runner.medium_frac +. p1.Runner.high_frac -. 1.) < 1e-6)
+    (abs_float (p1.Runner.low_frac +. p1.Runner.medium_frac +. p1.Runner.high_frac -. 1.) < 1e-6);
+  (* pfences are reported in their own column, no longer silently folded
+     into psyncs_per_op *)
+  Alcotest.(check bool) "counts pfences separately" true
+    (p1.Runner.pfences_per_op > 0.)
 
 let test_persistence_free_is_faster () =
   let wl = Workload.default Workload.update_intensive in
@@ -165,6 +189,8 @@ let test_csv_rendering () =
 let suite =
   [
     Alcotest.test_case "workload mix distribution" `Quick test_workload_mix;
+    Alcotest.test_case "odd update remainder splits evenly" `Quick
+      test_workload_mix_odd_remainder;
     Alcotest.test_case "prefill reaches ~40%" `Quick test_prefill_fills;
     Alcotest.test_case "runner sanity" `Quick test_runner_sanity;
     Alcotest.test_case "persistence-free is faster" `Quick

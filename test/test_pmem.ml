@@ -172,6 +172,29 @@ let test_outstanding_accounting () =
   Pmem.psync site_sync;
   Alcotest.(check int) "drained" 0 (Pmem.outstanding_writebacks 0)
 
+let test_queue_bound_completes_writebacks () =
+  (* The write-pending queue bound must make room by *completing* the
+     oldest write-back, skipping over bare fences.  The old bound popped
+     exactly one entry — often a Fence — so under a pwb;pfence-heavy loop
+     the Apply entries piled up without limit. *)
+  let h = fresh () in
+  let c = Pmem.alloc h 0 in
+  let n = 300 in
+  for i = 1 to n do
+    Pmem.write c i;
+    Pmem.pwb_f site_pwb c;
+    Pmem.pfence site_fence
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "outstanding applies bounded (%d)"
+       (Pmem.outstanding_writebacks 0))
+    true
+    (Pmem.outstanding_writebacks 0 <= 66);
+  (* and the completed write-backs really persisted *)
+  match Pmem.peek_persisted c with
+  | Some v -> Alcotest.(check bool) "persistence progressed" true (v > 0)
+  | None -> Alcotest.fail "nothing persisted despite 300 bounded flushes"
+
 let prop_random_crash_consistency =
   QCheck2.Test.make ~name:"crash yields a persisted-prefix state per cell"
     ~count:200
@@ -225,5 +248,7 @@ let suite =
     Alcotest.test_case "statistics counting" `Quick test_stats_counting;
     Alcotest.test_case "outstanding write-back accounting" `Quick
       test_outstanding_accounting;
+    Alcotest.test_case "queue bound completes write-backs" `Quick
+      test_queue_bound_completes_writebacks;
     QCheck_alcotest.to_alcotest prop_random_crash_consistency;
   ]

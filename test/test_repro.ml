@@ -1,0 +1,177 @@
+(* Deterministic trace/replay of crash campaigns.  The negative-control
+   [tracking-broken] variant (new-node pwb elided) must fail campaigns;
+   the failure must save as a repro, replay bit-for-bit, shrink to a tiny
+   counterexample, and trace as well-formed JSONL. *)
+
+let broken_cfg ~threads ~ops =
+  Crashes.
+    {
+      factory = Option.get (Set_intf.by_name "tracking-broken");
+      threads;
+      ops_per_thread = ops;
+      workload =
+        {
+          (Workload.default Workload.update_intensive) with
+          key_range = 64;
+          prefill_n = 32;
+        };
+      max_crashes = 3;
+    }
+
+(* First failing seed of a small campaign, with its recorded rounds. *)
+let find_failure () =
+  let cfg = broken_cfg ~threads:4 ~ops:10 in
+  let rec go seed =
+    if seed > 200 then Alcotest.fail "broken variant never failed in 200 seeds"
+    else
+      match Crashes.run_logged cfg ~seed with
+      | Error error, rounds -> (cfg, seed, error, rounds)
+      | Ok _, _ -> go (seed + 1)
+  in
+  go 0
+
+let test_broken_variant_replays () =
+  let cfg, seed, error, rounds = find_failure () in
+  let r = Crashes.repro_of cfg ~seed ~error ~rounds in
+  (match Crashes.replay r with
+  | Error e -> Alcotest.(check string) "identical failure" error e
+  | Ok () -> Alcotest.fail "replay did not reproduce the failure");
+  (* replay is itself deterministic *)
+  match Crashes.replay r with
+  | Error e -> Alcotest.(check string) "identical failure again" error e
+  | Ok () -> Alcotest.fail "second replay did not reproduce the failure"
+
+let with_temp_file f =
+  let path = Filename.temp_file "tracking-nvm" ".tmp" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_run_once_saves_loadable_repro () =
+  let cfg, seed, _, _ = find_failure () in
+  with_temp_file (fun path ->
+      match Crashes.run_once ~repro_file:path cfg ~seed with
+      | Ok _ -> Alcotest.fail "expected the recorded seed to fail again"
+      | Error error -> (
+          match Repro.load path with
+          | Error e -> Alcotest.fail ("load: " ^ e)
+          | Ok r -> (
+              Alcotest.(check string) "algo" "tracking-broken" r.Repro.algo;
+              Alcotest.(check int) "seed" seed r.Repro.seed;
+              Alcotest.(check string) "error" error r.Repro.error;
+              Alcotest.(check bool) "has rounds" true (r.Repro.rounds <> []);
+              match Crashes.replay r with
+              | Error e -> Alcotest.(check string) "file replays" error e
+              | Ok () -> Alcotest.fail "saved repro did not reproduce")))
+
+let test_save_load_roundtrip () =
+  let cfg, seed, error, rounds = find_failure () in
+  let r = Crashes.repro_of cfg ~seed ~error ~rounds in
+  with_temp_file (fun path ->
+      Repro.save path r;
+      match Repro.load path with
+      | Error e -> Alcotest.fail e
+      | Ok r' ->
+          Alcotest.(check string) "algo" r.Repro.algo r'.Repro.algo;
+          Alcotest.(check int) "threads" r.Repro.threads r'.Repro.threads;
+          Alcotest.(check int) "ops" r.Repro.ops_per_thread r'.Repro.ops_per_thread;
+          Alcotest.(check int) "find-pct" r.Repro.find_pct r'.Repro.find_pct;
+          Alcotest.(check int) "key-range" r.Repro.key_range r'.Repro.key_range;
+          Alcotest.(check int) "prefill" r.Repro.prefill r'.Repro.prefill;
+          Alcotest.(check int) "max-crashes" r.Repro.max_crashes r'.Repro.max_crashes;
+          Alcotest.(check int) "seed" r.Repro.seed r'.Repro.seed;
+          Alcotest.(check string) "error" r.Repro.error r'.Repro.error;
+          List.iter2
+            (fun (a : Repro.round) (b : Repro.round) ->
+              Alcotest.(check bool) "round kind" true (a.Repro.kind = b.Repro.kind);
+              Alcotest.(check int) "round crash" a.Repro.crash_at b.Repro.crash_at;
+              Alcotest.(check (array int))
+                "round schedule" a.Repro.schedule b.Repro.schedule)
+            r.Repro.rounds r'.Repro.rounds)
+
+let test_shrink_minimizes () =
+  let cfg, seed, error, rounds = find_failure () in
+  let r = Crashes.repro_of cfg ~seed ~error ~rounds in
+  let s = Crashes.shrink r in
+  Alcotest.(check bool)
+    (Printf.sprintf "threads shrunk to %d" s.Repro.threads)
+    true (s.Repro.threads <= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "ops/thread shrunk to %d" s.Repro.ops_per_thread)
+    true (s.Repro.ops_per_thread <= 4);
+  (* the shrunk repro is itself a faithful, replayable counterexample *)
+  match Crashes.replay s with
+  | Error e -> Alcotest.(check string) "shrunk failure replays" s.Repro.error e
+  | Ok () -> Alcotest.fail "shrunk repro did not reproduce"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_trace_is_wellformed_jsonl () =
+  with_temp_file (fun path ->
+      let cfg = broken_cfg ~threads:2 ~ops:4 in
+      Trace.with_file path (fun () ->
+          ignore (Crashes.run_once cfg ~seed:0 : (Crashes.outcome, string) result));
+      Alcotest.(check bool) "tracing off afterwards" false (Trace.active ());
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      Alcotest.(check bool) "trace not empty" true (List.length lines > 100);
+      let scheds = ref 0 and pwbs = ref 0 and rounds = ref 0 and mem = ref 0 in
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "one object per line" true
+            (String.length l >= 2
+            && l.[0] = '{'
+            && l.[String.length l - 1] = '}');
+          if starts_with ~prefix:{|{"ev":"sched"|} l then incr scheds;
+          if starts_with ~prefix:{|{"ev":"pwb"|} l then incr pwbs;
+          if starts_with ~prefix:{|{"ev":"round"|} l then incr rounds;
+          if
+            starts_with ~prefix:{|{"ev":"read"|} l
+            || starts_with ~prefix:{|{"ev":"write"|} l
+            || starts_with ~prefix:{|{"ev":"cas"|} l
+          then incr mem)
+        lines;
+      Alcotest.(check bool) "sched events" true (!scheds > 0);
+      Alcotest.(check bool) "pwb events" true (!pwbs > 0);
+      Alcotest.(check bool) "round markers" true (!rounds > 0);
+      Alcotest.(check bool) "memory events" true (!mem > 0))
+
+let test_tracing_does_not_perturb () =
+  (* Installing the tracer must not change the simulation: the virtual-
+     time metrics of a traced run are identical to an untraced one. *)
+  let wl = Workload.default Workload.update_intensive in
+  let p0 = Runner.measure ~duration_ns:30_000. Set_intf.tracking ~threads:4 wl in
+  let p1 =
+    with_temp_file (fun path ->
+        Trace.with_file path (fun () ->
+            Runner.measure ~duration_ns:30_000. Set_intf.tracking ~threads:4 wl))
+  in
+  Alcotest.(check bool) "identical measurement" true (p0 = p1)
+
+let test_good_variants_still_pass () =
+  (* sanity: the negative control fails for its intended reason, not
+     because the replay plumbing broke campaigns in general *)
+  let cfg = { (broken_cfg ~threads:4 ~ops:10) with Crashes.factory = Set_intf.tracking } in
+  for seed = 0 to 9 do
+    match Crashes.run_once cfg ~seed with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "broken variant replays bit-for-bit" `Quick
+      test_broken_variant_replays;
+    Alcotest.test_case "run_once saves a loadable repro" `Quick
+      test_run_once_saves_loadable_repro;
+    Alcotest.test_case "repro save/load roundtrip" `Quick
+      test_save_load_roundtrip;
+    Alcotest.test_case "shrinker minimizes the counterexample" `Quick
+      test_shrink_minimizes;
+    Alcotest.test_case "trace is well-formed JSONL" `Quick
+      test_trace_is_wellformed_jsonl;
+    Alcotest.test_case "tracing does not perturb the simulation" `Quick
+      test_tracing_does_not_perturb;
+    Alcotest.test_case "good variants still pass campaigns" `Quick
+      test_good_variants_still_pass;
+  ]

@@ -154,6 +154,57 @@ let test_step_limit () =
   | Sim.All_done -> ()
   | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash"
 
+let test_step_limit_runs_finalizers () =
+  (* Fibers abandoned when the watchdog fires must be discontinued so
+     their finalizers run — they used to be dropped as live continuations,
+     leaking whatever the fiber held open. *)
+  let cleaned = Array.make 3 false in
+  (match
+     Sim.run ~step_limit:500
+       (Array.init 3 (fun i _ ->
+            Fun.protect
+              ~finally:(fun () -> cleaned.(i) <- true)
+              (fun () ->
+                while true do
+                  Sim.step 1.
+                done)))
+   with
+  | exception Sim.Step_limit -> ()
+  | _ -> Alcotest.fail "expected Step_limit");
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "finalizer %d ran" i) true c)
+    cleaned;
+  Alcotest.(check bool) "engine clean" false (Sim.in_sim ());
+  (* the engine is reusable afterwards *)
+  match Sim.run [| (fun _ -> Sim.step 1.) |] with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash"
+
+let test_schedule_record_replay () =
+  let run ~seed ~schedule ~record =
+    let log = ref [] in
+    ignore
+      (Sim.run ~policy:`Random ~seed ~schedule ~record
+         (Array.init 4 (fun i _ ->
+              for j = 0 to 9 do
+                Sim.step 1.;
+                log := (i, j) :: !log
+              done))
+        : Sim.outcome);
+    List.rev !log
+  in
+  let picks = ref [] in
+  let original =
+    run ~seed:5 ~schedule:[||] ~record:(fun tid -> picks := tid :: !picks)
+  in
+  let schedule = Array.of_list (List.rev !picks) in
+  Alcotest.(check bool) "picks recorded" true (Array.length schedule > 0);
+  (* replaying the recorded schedule reproduces the interleaving exactly,
+     even under a different rng seed: every decision comes from the tape *)
+  let replayed = run ~seed:9999 ~schedule ~record:(fun _ -> ()) in
+  Alcotest.(check bool) "identical interleaving" true (replayed = original)
+
 let test_many_threads () =
   let n = 60 in
   let done_ = Array.make n false in
@@ -184,5 +235,9 @@ let suite =
     Alcotest.test_case "escaping exception leaves engine clean" `Quick
       test_exception_escapes_cleanly;
     Alcotest.test_case "step-limit watchdog" `Quick test_step_limit;
+    Alcotest.test_case "step-limit teardown runs finalizers" `Quick
+      test_step_limit_runs_finalizers;
+    Alcotest.test_case "schedule record/replay" `Quick
+      test_schedule_record_replay;
     Alcotest.test_case "sixty threads" `Quick test_many_threads;
   ]
