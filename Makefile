@@ -1,13 +1,19 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test clean figures
+.PHONY: check build test explore-smoke clean figures
 
-check: build test
+check: build test explore-smoke
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Bounded exhaustive exploration smoke: a 2-thread x 1-op campaign with
+# preemption bound 2 must exhaust its tree with no violation.
+explore-smoke:
+	dune exec bin/repro.exe -- explore -a tracking -t 2 --ops 1 \
+	  --keys 4 --prefill 1 --preemptions 2 --crashes 1 --wb 2 --max-execs 0
 
 clean:
 	dune clean

@@ -186,9 +186,129 @@ let crash_cmd =
       const run $ algo $ mix $ seeds $ threads $ ops $ crashes $ key_range
       $ trace $ repro_file)
 
+(* -- explore -------------------------------------------------------------- *)
+
+let explore_cmd =
+  let threads =
+    Arg.(value & opt int 2 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(value & opt int 1 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let key_range =
+    Arg.(value & opt int 8 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let prefill =
+    Arg.(value & opt int 4 & info [ "prefill" ] ~doc:"Keys inserted before the run.")
+  in
+  let preemptions =
+    Arg.(
+      value & opt int 2
+      & info [ "preemptions" ]
+          ~doc:"CHESS preemption bound: max preemptive context switches \
+                explored per execution.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 1
+      & info [ "crashes" ] ~doc:"Max crashes injected per execution.")
+  in
+  let wb =
+    Arg.(
+      value & opt int 2
+      & info [ "wb" ]
+          ~doc:"Write-back sweep width: prefix depths tried per crash, \
+                besides drop-all and complete-all.")
+  in
+  let max_execs =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-execs" ] ~doc:"Execution budget; 0 = run until exhausted.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:"Keep exploring after the first failure (count them all).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL event trace of the exploration to $(docv).")
+  in
+  let repro_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On failure, save a replayable repro to $(docv).")
+  in
+  let run algo mix threads ops key_range prefill preemptions crashes wb
+      max_execs seed keep_going trace repro_file =
+    if algo.Set_intf.fname = "harris" then begin
+      Format.printf "harris is volatile: it cannot recover from crashes@.";
+      exit 1
+    end;
+    let cfg =
+      Explore.
+        {
+          campaign =
+            Crashes.
+              {
+                factory = algo;
+                threads;
+                ops_per_thread = ops;
+                workload =
+                  {
+                    (Workload.default mix) with
+                    key_range;
+                    prefill_n = prefill;
+                  };
+                max_crashes = max crashes 1;
+              };
+          seed;
+          preemptions;
+          crashes;
+          wb_width = wb;
+          max_execs;
+        }
+    in
+    let go () =
+      Explore.run ~stop_on_failure:(not keep_going)
+        ~progress:Report.explore_progress cfg
+    in
+    let o = match trace with Some p -> Trace.with_file p go | None -> go () in
+    Format.printf "%a" Report.pp_explore o.Explore.stats;
+    match o.Explore.failure with
+    | None -> ()
+    | Some r ->
+        Format.printf "DETECTABILITY VIOLATION — %s@." r.Repro.error;
+        (match repro_file with
+        | Some p ->
+            Repro.save p r;
+            Format.printf "repro saved to %s@." p
+        | None -> ());
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded exhaustive exploration: enumerate every schedule (up to a \
+          preemption bound), crash point and write-back subset of a small \
+          campaign, checking detectability on each execution.")
+    Term.(
+      const run $ algo $ mix $ threads $ ops $ key_range $ prefill
+      $ preemptions $ crashes $ wb $ max_execs $ seed $ keep_going $ trace
+      $ repro_file)
+
 (* -- replay --------------------------------------------------------------- *)
 
-let replay_run file do_shrink out trace =
+let replay_run file do_shrink any_error out trace =
   match Repro.load file with
   | Error msg ->
       Format.printf "cannot load %s: %s@." file msg;
@@ -198,7 +318,7 @@ let replay_run file do_shrink out trace =
       let r =
         if not do_shrink then r
         else begin
-          let r' = Crashes.shrink r in
+          let r' = Crashes.shrink ~match_error:(not any_error) r in
           Format.printf "shrunk to: threads=%d ops/thread=%d rounds=%d@."
             r'.Repro.threads r'.Repro.ops_per_thread
             (List.length r'.Repro.rounds);
@@ -239,6 +359,14 @@ let replay_cmd =
           ~doc:"Greedily minimize the repro (fewer threads, fewer ops, \
                 earlier crash) before replaying.")
   in
+  let any_error =
+    Arg.(
+      value & flag
+      & info [ "any-error" ]
+          ~doc:"While shrinking, accept probe runs that fail with a \
+                different error than the recorded one (default: only \
+                matching failures are adopted).")
+  in
   let out =
     Arg.(
       value
@@ -258,7 +386,7 @@ let replay_cmd =
        ~doc:
          "Deterministically replay (and optionally shrink) a saved \
           failing-campaign repro.")
-    Term.(const replay_run $ file $ shrinkf $ out $ trace)
+    Term.(const replay_run $ file $ shrinkf $ any_error $ out $ trace)
 
 (* -- soak ----------------------------------------------------------------- *)
 
@@ -341,7 +469,7 @@ let () =
     Term.(
       ret
         (const (function
-           | Some f -> `Ok (replay_run f false None None)
+           | Some f -> `Ok (replay_run f false false None None)
            | None -> `Help (`Pager, None))
         $ replay_opt))
   in
@@ -349,5 +477,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
-          [ figures_cmd; sweep_cmd; crash_cmd; replay_cmd; soak_cmd;
-            classify_cmd ]))
+          [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
+            soak_cmd; classify_cmd ]))

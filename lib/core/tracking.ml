@@ -68,7 +68,17 @@ let help ops s d =
   match Desc.result d with
   | Some _ ->
       (* The operation already took effect; a crash (or a race) may have
-         left cleanup half-done, so finish it (§3, crash during cleanup). *)
+         left cleanup half-done, so finish it (§3, crash during cleanup).
+         The result we just read may still be volatile — the thread that
+         wrote it could be suspended between its result pwb and psync.
+         Untagging first would destroy the only other durable evidence
+         that the operation happened: a crash that drops the pending
+         result write-back then leaves recovery with a result-less
+         descriptor and no tags, so it re-invokes an operation whose
+         durable effect survived — a detectability violation.  Persist
+         the result before acting on it (flush-before-use). *)
+      Pmem.pwb s.result_pwb (Desc.line d);
+      Pmem.psync s.result_sync;
       cleanup ops s d
   | None -> (
       let p = Desc.payload d in

@@ -10,6 +10,22 @@ type outcome = {
   completed_ops : int;
   recovered_ops : int;
   crashes : int;
+  divergences : int;
+      (* replay-schedule entries that could not be honored; any nonzero
+         value means the run was NOT the recorded execution *)
+}
+
+(* External control of every campaign decision, for the exploration
+   harness (Explore).  The controller sees exactly the decision points a
+   scripted replay would force, so an explorer-found failure replays
+   through the ordinary [script] path with zero divergences. *)
+type ctl = {
+  ctl_crash_at : kind:[ `Work | `Recover ] -> round:int -> int;
+      (* crash point for the upcoming round; <= 0 = run crash-free *)
+  ctl_choose : crashing:bool -> int array -> int;
+      (* scheduling decision, passed to Sim.run ~choose *)
+  ctl_wb : round:int -> Repro.wb;
+      (* write-back resolution for the crash that ended [round] *)
 }
 
 let repro_of cfg ~seed ~error ~rounds =
@@ -48,11 +64,14 @@ let config_of (r : Repro.t) =
               max_crashes = r.max_crashes;
             })
 
-(* One seeded run.  [script] forces the crash point and replays the
-   recorded schedule of its rounds (later rounds run free); the returned
-   round log always reflects what actually happened, so a failure can be
+(* One seeded run.  [script] forces the crash point, schedule and
+   write-back resolution of its rounds (later rounds run free); [ctl]
+   instead delegates every decision to an external controller (schedules
+   are then recorded, not replayed).  [on_divergence] reports every
+   schedule-replay entry that could not be honored.  The returned round
+   log always reflects what actually happened, so a failure can be
    replayed — or shrunk — from it. *)
-let run_logged ?(script = []) cfg ~seed =
+let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
   Pmem.reset_pending ();
   Pstats.set_all_enabled true;
   let rng = Random.State.make [| seed; 0xC2A5 |] in
@@ -110,31 +129,60 @@ let run_logged ?(script = []) cfg ~seed =
   in
   let script = Array.of_list script in
   let log = ref [] in (* Repro.round list, newest first *)
+  let divergences = ref 0 in
   let run_round ~kind round bodies =
-    (* The rng draw happens even when the script overrides the crash
-       point, so a full-script replay consumes the harness rng in exactly
-       the recorded pattern (Pmem.crash draws stay aligned). *)
+    (* The rng draw happens even when the script or controller overrides
+       the crash point, so a full-script replay consumes the harness rng
+       in exactly the recorded pattern (Pmem.crash draws stay aligned). *)
     let picked = next_crash_at round in
     let forced = if round < Array.length script then Some script.(round) else None in
     let crash_at =
-      match forced with Some r -> r.Repro.crash_at | None -> picked
+      match ctl with
+      | Some c -> c.ctl_crash_at ~kind ~round
+      | None -> (
+          match forced with Some r -> r.Repro.crash_at | None -> picked)
     in
     let schedule =
-      match forced with Some r -> r.Repro.schedule | None -> [||]
+      match (ctl, forced) with
+      | Some _, _ -> [||] (* the controller decides; nothing to replay *)
+      | None, Some r -> r.Repro.schedule
+      | None, None -> [||]
     in
     let picks = ref [] in
     Trace.round ~kind round;
     Fun.protect
       ~finally:(fun () ->
         log :=
-          { Repro.kind; crash_at; schedule = Array.of_list (List.rev !picks) }
+          {
+            Repro.kind;
+            crash_at;
+            schedule = Array.of_list (List.rev !picks);
+            wb = `Rng;
+          }
           :: !log)
       (fun () ->
         Sim.run ~policy:`Random
           ~seed:(seed * 31 + round)
           ~crash_at ~step_limit ~schedule
           ~record:(fun tid -> picks := tid :: !picks)
+          ~divergence:(fun ~step ~want ->
+            incr divergences;
+            Trace.note
+              (Printf.sprintf "DIVERGENCE: round %d step %d wanted tid %d"
+                 round step want);
+            match on_divergence with
+            | None -> ()
+            | Some f -> f ~round ~step ~want)
+          ?choose:(match ctl with Some c -> Some c.ctl_choose | None -> None)
           bodies)
+  in
+  (* The write-back resolution of the crash that just ended [round]:
+     controller first, then the script, else the harness rng. *)
+  let crash_wb round =
+    match ctl with
+    | Some c -> c.ctl_wb ~round
+    | None -> (
+        if round < Array.length script then script.(round).Repro.wb else `Rng)
   in
   let rec rounds ~kind round bodies =
     if round > 50 * cfg.max_crashes + 50 then Error "campaign did not converge"
@@ -149,7 +197,16 @@ let run_logged ?(script = []) cfg ~seed =
           else Ok ()
       | Sim.Crashed_at _ ->
           incr crashes;
-          Pmem.crash ~rng heap;
+          let wb = crash_wb round in
+          (match wb with
+          | `Rng -> Pmem.crash ~rng heap
+          | (`Drop | `All | `Prefix _) as resolution ->
+              Pmem.crash ~resolution heap);
+          (* patch the resolution into the round entry the finalizer just
+             pushed, so the log replays with the same NVM state *)
+          (match !log with
+          | rd :: rest -> log := { rd with Repro.wb } :: rest
+          | [] -> assert false);
           algo.Set_intf.recover_structure ();
           rounds ~kind:`Recover (round + 1) (Array.init cfg.threads recoverer)
   in
@@ -173,6 +230,7 @@ let run_logged ?(script = []) cfg ~seed =
                     completed_ops = List.length !events;
                     recovered_ops = !recovered;
                     crashes = !crashes;
+                    divergences = !divergences;
                   }))
   in
   (match result with
@@ -191,19 +249,48 @@ let replay (r : Repro.t) =
   match config_of r with
   | Error _ as e -> e
   | Ok cfg -> (
-      match run_logged ~script:r.rounds cfg ~seed:r.seed with
-      | Ok _, _ -> Ok ()
-      | Error e, _ -> Error e)
+      let first_div = ref None in
+      let on_divergence ~round ~step ~want =
+        if !first_div = None then first_div := Some (round, step, want)
+      in
+      let result, _ = run_logged ~script:r.rounds ~on_divergence cfg ~seed:r.seed in
+      (* Any divergence means the run was NOT the recorded execution:
+         fail loudly — even a "reproduced" failure message could belong
+         to a different interleaving. *)
+      match (!first_div, result) with
+      | Some (round, step, want), _ ->
+          Error
+            (Printf.sprintf
+               "schedule divergence at round %d step %d (recorded tid %d not \
+                ready): the replay executed a different interleaving"
+               round step want)
+      | None, Ok _ -> Ok ()
+      | None, (Error _ as e) -> e)
 
 (* ---- greedy shrinking -------------------------------------------------- *)
 
+(* The failure "class" of a campaign error message: the prefix before the
+   first ':' ("oracle", "structure invariant", "touched never-persisted
+   data", ...).  Two messages match when they are identical or share this
+   class — the detail after the colon (a key, a node name) legitimately
+   varies across shrunk configurations of the same bug. *)
+let error_class e =
+  match String.index_opt e ':' with Some i -> String.sub e 0 i | None -> e
+
+let errors_match ~original e =
+  String.equal original e || String.equal (error_class original) (error_class e)
+
 (* Minimize a failing campaign: fewer threads, fewer ops per thread, then
    an earlier first crash point — each move kept only if some probe run
-   still fails.  Probing a handful of seeds per candidate makes the
-   shrinker effective on schedule-dependent failures without giving up
-   determinism: the result carries the exact seed, crash points and
-   schedules of the shrunk failure, so it replays bit-for-bit. *)
-let shrink ?(budget = 500) (r : Repro.t) =
+   still fails {e with the original failure}: a probe that fails
+   differently is a different bug, and adopting it would certify an
+   unrelated counterexample ([match_error:false] relaxes this, for
+   deliberately hunting neighborhoods).  Probing a handful of seeds per
+   candidate makes the shrinker effective on schedule-dependent failures
+   without giving up determinism: the result carries the exact seed,
+   crash points and schedules of the shrunk failure, so it replays
+   bit-for-bit. *)
+let shrink ?(budget = 500) ?(match_error = true) (r : Repro.t) =
   let runs = ref 0 in
   let attempt (cand : Repro.t) ~scripts =
     match config_of cand with
@@ -220,7 +307,11 @@ let shrink ?(budget = 500) (r : Repro.t) =
                   match run_logged ~script cfg ~seed with
                   | Ok _, _ -> None
                   | Error error, rounds ->
-                      Some (repro_of cfg ~seed ~error ~rounds)
+                      if
+                        (not match_error)
+                        || errors_match ~original:r.Repro.error error
+                      then Some (repro_of cfg ~seed ~error ~rounds)
+                      else None
                 end)
               scripts)
           seeds
@@ -231,7 +322,9 @@ let shrink ?(budget = 500) (r : Repro.t) =
      and the probe passes vacuously. *)
   let free_and_forced (cand : Repro.t) =
     let b = cand.Repro.threads * cand.Repro.ops_per_thread * 300 in
-    let forced c = [ { Repro.kind = `Work; crash_at = c; schedule = [||] } ] in
+    let forced c =
+      [ { Repro.kind = `Work; crash_at = c; schedule = [||]; wb = `Rng } ]
+    in
     [ []; forced (max 2 (b / 40)); forced (max 2 (b / 10)) ]
   in
   let cur = ref r in
@@ -274,7 +367,16 @@ let shrink ?(budget = 500) (r : Repro.t) =
                adopt
                  (attempt !cur
                     ~scripts:
-                      [ [ { Repro.kind = `Work; crash_at = c; schedule = [||] } ] ]))
+                      [
+                        [
+                          {
+                            Repro.kind = `Work;
+                            crash_at = c;
+                            schedule = [||];
+                            wb = `Rng;
+                          };
+                        ];
+                      ]))
              [ crash_at / 2; crash_at - 1 ]
             : bool)
     | _ -> ())
@@ -293,7 +395,9 @@ let run_campaign ?repro_file cfg ~seeds =
                 completed_ops = acc.completed_ops + o.completed_ops;
                 recovered_ops = acc.recovered_ops + o.recovered_ops;
                 crashes = acc.crashes + o.crashes;
+                divergences = acc.divergences + o.divergences;
               }
               (n + 1) rest)
   in
-  go { completed_ops = 0; recovered_ops = 0; crashes = 0 } 0 seeds
+  go { completed_ops = 0; recovered_ops = 0; crashes = 0; divergences = 0 } 0
+    seeds

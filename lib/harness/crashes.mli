@@ -28,6 +28,25 @@ type outcome = {
   completed_ops : int;
   recovered_ops : int;  (** ops whose response came from recovery *)
   crashes : int;
+  divergences : int;
+      (** replay-schedule entries that could not be honored.  Nonzero
+          means the run was {e not} the recorded execution: treat any
+          "replayed" result as meaningless. *)
+}
+
+(** External control of every campaign decision, for the exploration
+    harness ({!Explore}): the crash point of each round, every scheduling
+    decision (see [Sim.run ?choose]) and the write-back resolution of
+    each crash.  The controller sees exactly the decision points a
+    scripted replay would force, so an explorer-found failure replays
+    through the ordinary [script] path with zero divergences. *)
+type ctl = {
+  ctl_crash_at : kind:[ `Work | `Recover ] -> round:int -> int;
+      (** crash point for the upcoming round; [<= 0] = run crash-free *)
+  ctl_choose : crashing:bool -> int array -> int;
+      (** scheduling decision, passed to [Sim.run ~choose] *)
+  ctl_wb : round:int -> Repro.wb;
+      (** write-back resolution for the crash that ended [round] *)
 }
 
 val run_once :
@@ -37,17 +56,23 @@ val run_once :
   seed:int ->
   (outcome, string) result
 (** One seeded run; [Error] describes the first detected violation.
-    [script] forces the crash point and replays the recorded schedule of
-    its rounds (later rounds run free).  With [repro_file], a failing run
-    writes a replayable {!Repro.t} there. *)
+    [script] forces the crash point, schedule and write-back resolution
+    of its rounds (later rounds run free).  With [repro_file], a failing
+    run writes a replayable {!Repro.t} there. *)
 
 val run_logged :
   ?script:Repro.round list ->
+  ?on_divergence:(round:int -> step:int -> want:int -> unit) ->
+  ?ctl:ctl ->
   config ->
   seed:int ->
   (outcome, string) result * Repro.round list
-(** Like {!run_once}, also returning the recorded round log (crash point
-    and schedule per simulator round) — the raw material of a repro. *)
+(** Like {!run_once}, also returning the recorded round log (crash point,
+    schedule and write-back resolution per simulator round) — the raw
+    material of a repro.  [on_divergence] fires for every scripted
+    schedule entry that could not be honored; [ctl] delegates all
+    campaign decisions to an external controller instead of the
+    script/rng. *)
 
 val run_campaign :
   ?repro_file:string ->
@@ -66,13 +91,21 @@ val config_of : Repro.t -> (config, string) result
     factory name is unknown). *)
 
 val replay : Repro.t -> (unit, string) result
-(** Re-run a repro with its recorded crash points and schedules forced.
-    [Error] is the reproduced failure — for a faithful repro it equals
-    [r.error]; [Ok ()] means the failure did {e not} reproduce. *)
+(** Re-run a repro with its recorded crash points, schedules and
+    write-back resolutions forced.  [Error] is the reproduced failure —
+    for a faithful repro it equals [r.error]; [Ok ()] means the failure
+    did {e not} reproduce.  If any recorded schedule entry cannot be
+    honored the result is an [Error] naming the divergence point (round,
+    step, wanted tid), {e regardless} of how the diverged run ended: a
+    diverged "replay" proves nothing about the recorded failure. *)
 
-val shrink : ?budget:int -> Repro.t -> Repro.t
+val shrink : ?budget:int -> ?match_error:bool -> Repro.t -> Repro.t
 (** Greedily minimize a failing repro: fewer threads, fewer ops per
     thread, earlier first crash point — each move kept only if a probe
     run (free or with a forced early crash scaled to the candidate's
-    size) still fails.  [budget] bounds the total number of probe runs
-    (default 500).  The result is itself a faithful, replayable repro. *)
+    size) still fails {e with the original failure}: identical message,
+    or the same class (prefix before the first [':']).  A probe that
+    fails differently is a different bug and is not adopted;
+    [match_error:false] relaxes this.  [budget] bounds the total number
+    of probe runs (default 500).  The result is itself a faithful,
+    replayable repro. *)

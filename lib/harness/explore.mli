@@ -1,0 +1,61 @@
+(** Bounded exhaustive exploration (stateless model checking) of small
+    crash campaigns.
+
+    The explorer re-runs one campaign configuration under external
+    control of every decision it makes — scheduling, crash points, and
+    write-back resolution at each crash — doing depth-first search over
+    the resulting decision tree:
+
+    - scheduling is explored with CHESS-style {e preemption bounding}:
+      the default schedule is non-preemptive (the running thread keeps
+      running until it blocks or finishes), and at most [preemptions]
+      decisions per execution may deviate from it while the previous
+      thread was still runnable.  Free choice points (previous thread
+      blocked or done) are always explored fully.
+    - a crash is enumerated at {e every} shared-memory step of each
+      round (plus the crash-free branch), up to [crashes] crashes per
+      execution;
+    - each crash sweeps deterministic write-back subsets: drop all
+      pending write-backs, complete all, and each thread's [k]-oldest
+      prefix for [k = 1..wb_width] (capped by the deepest pending
+      queue).
+
+    Every execution runs the full oracle / detectability / poison checks
+    of {!Crashes.run_logged}; a failure is returned as a standard
+    {!Repro.t} that [repro --replay] and [--shrink] consume unchanged,
+    replaying with zero schedule divergences. *)
+
+type config = {
+  campaign : Crashes.config;
+  seed : int;  (** fixes the workload (op sequences, prefill) *)
+  preemptions : int;  (** CHESS bound: max preemptive switches per execution *)
+  crashes : int;  (** max crashes injected per execution *)
+  wb_width : int;
+      (** [`Prefix] depths enumerated per crash, besides [`Drop]/[`All] *)
+  max_execs : int;  (** execution budget; [0] = run until exhausted *)
+}
+
+type stats = {
+  executions : int;
+  failures : int;
+  decision_points : int;  (** scheduling frames expanded *)
+  crash_points : int;  (** crash alternatives enumerated *)
+  wb_choices : int;  (** write-back alternatives enumerated *)
+  pruned : int;
+      (** schedule alternatives suppressed by the preemption bound *)
+  complete : bool;
+      (** the entire bounded tree was enumerated (false when the
+          execution budget ran out or a failure stopped the search) *)
+}
+
+type outcome = {
+  stats : stats;
+  failure : Repro.t option;  (** first failure, as a replayable repro *)
+}
+
+val run :
+  ?stop_on_failure:bool -> ?progress:(stats -> unit) -> config -> outcome
+(** Explore the bounded tree.  [stop_on_failure] (default [true]) stops
+    at the first violation; with [false] the search continues and counts
+    further failures (the returned repro is still the first).
+    [progress] is invoked every 500 executions and once at the end. *)

@@ -46,6 +46,24 @@ let print_all cfg =
       (Set_intf.capsules_opt, Workload.update_intensive);
     ]
 
+let pp_explore ppf (s : Explore.stats) =
+  Format.fprintf ppf "executions        %d@." s.Explore.executions;
+  Format.fprintf ppf "failures          %d@." s.Explore.failures;
+  Format.fprintf ppf "sched decisions   %d@." s.Explore.decision_points;
+  Format.fprintf ppf "crash points      %d@." s.Explore.crash_points;
+  Format.fprintf ppf "write-back alts   %d@." s.Explore.wb_choices;
+  Format.fprintf ppf "pruned (preempt)  %d@." s.Explore.pruned;
+  Format.fprintf ppf "coverage          %s@."
+    (if s.Explore.complete then "complete (bounded tree exhausted)"
+     else "INCOMPLETE (budget hit or stopped on failure)")
+
+let explore_progress (s : Explore.stats) =
+  Format.eprintf
+    "[explore] %d execs, %d failures, %d sched points, %d crash points, %d \
+     wb alts, %d pruned@."
+    s.Explore.executions s.Explore.failures s.Explore.decision_points
+    s.Explore.crash_points s.Explore.wb_choices s.Explore.pruned
+
 let figure_to_csv (f : Figures.figure) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "threads";

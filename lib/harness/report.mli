@@ -11,6 +11,12 @@ val pp_classification :
 val print_all : Figures.config -> unit
 (** Regenerate and print every figure, with progress on stderr. *)
 
+val pp_explore : Format.formatter -> Explore.stats -> unit
+(** Coverage summary of a bounded exploration run. *)
+
+val explore_progress : Explore.stats -> unit
+(** One-line progress report on stderr, for [Explore.run ?progress]. *)
+
 val figure_to_csv : Figures.figure -> string
 (** One CSV: a [threads] column followed by one column per series. *)
 

@@ -7,10 +7,19 @@
    bit-for-bit; the format is line-based and documented in DESIGN.md
    ("Replay-file format"). *)
 
+(* How the crash ending this round resolved outstanding write-backs.
+   [`Rng] (the default, and the only choice harness-random campaigns
+   produce) means the seeded harness rng drew the surviving subset —
+   deterministic under replay because the draw stream is aligned.  The
+   explicit choices are produced by the exploration harness and replayed
+   verbatim through [Pmem.crash ~resolution]. *)
+type wb = [ `Rng | `Drop | `All | `Prefix of int ]
+
 type round = {
   kind : [ `Work | `Recover ];
   crash_at : int;  (* the crash_at parameter of that Sim.run; -1 = none *)
   schedule : int array;  (* tid picked at each scheduling decision *)
+  wb : wb;  (* write-back resolution of the crash ending this round *)
 }
 
 type t = {
@@ -39,6 +48,12 @@ let schedule_string sched =
     String.concat ","
       (Array.to_list (Array.map string_of_int sched))
 
+let wb_string = function
+  | `Rng -> ""
+  | `Drop -> " drop"
+  | `All -> " all"
+  | `Prefix k -> Printf.sprintf " prefix:%d" k
+
 let pp ppf r =
   Format.fprintf ppf "%s@." magic;
   Format.fprintf ppf "algo %s@." r.algo;
@@ -52,8 +67,8 @@ let pp ppf r =
   Format.fprintf ppf "error %s@." (one_line r.error);
   List.iter
     (fun rd ->
-      Format.fprintf ppf "round %s %d %s@." (kind_name rd.kind) rd.crash_at
-        (schedule_string rd.schedule))
+      Format.fprintf ppf "round %s %d %s%s@." (kind_name rd.kind) rd.crash_at
+        (schedule_string rd.schedule) (wb_string rd.wb))
     r.rounds
 
 let save path r =
@@ -74,20 +89,39 @@ let parse_schedule = function
       try Ok (Array.of_list (List.map int_of_string parts))
       with Failure _ -> Error (Printf.sprintf "bad schedule %S" s))
 
+let parse_wb = function
+  | "drop" -> Ok `Drop
+  | "all" -> Ok `All
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "prefix" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some k when k >= 1 -> Ok (`Prefix k)
+          | _ -> Error (Printf.sprintf "bad write-back resolution %S" s))
+      | _ -> Error (Printf.sprintf "bad write-back resolution %S" s))
+
 let parse_round line =
   match String.split_on_char ' ' line with
-  | [ kind; crash_at; sched ] -> (
+  | ([ kind; crash_at; sched ] | [ kind; crash_at; sched; _ ]) as fields -> (
       let kind =
         match kind with
         | "work" -> Ok `Work
         | "recover" -> Ok `Recover
         | k -> Error (Printf.sprintf "bad round kind %S" k)
       in
-      match (kind, int_of_string_opt crash_at, parse_schedule sched) with
-      | Ok kind, Some crash_at, Ok schedule -> Ok { kind; crash_at; schedule }
-      | (Error _ as e), _, _ -> e
-      | _, None, _ -> Error (Printf.sprintf "bad crash point %S" crash_at)
-      | _, _, (Error _ as e) -> e)
+      let wb =
+        match fields with
+        | [ _; _; _; w ] -> parse_wb w
+        | _ -> Ok `Rng
+      in
+      match (kind, int_of_string_opt crash_at, parse_schedule sched, wb) with
+      | Ok kind, Some crash_at, Ok schedule, Ok wb ->
+          Ok { kind; crash_at; schedule; wb }
+      | (Error _ as e), _, _, _ -> e
+      | _, None, _, _ -> Error (Printf.sprintf "bad crash point %S" crash_at)
+      | _, _, (Error _ as e), _ -> e
+      | _, _, _, (Error _ as e) -> e)
   | _ -> Error (Printf.sprintf "bad round line %S" line)
 
 let load path =
@@ -114,11 +148,22 @@ let load path =
       in
       let err = ref None in
       let fail msg = if !err = None then err := Some msg in
-      let int_field set v =
+      let seen = ref [] in
+      (* a configuration key repeated in the file is corruption, not a
+         harmless override: reject it rather than silently last-wins *)
+      let once key =
+        if List.mem key !seen then fail (Printf.sprintf "duplicate field %S" key)
+        else seen := key :: !seen
+      in
+      let int_field key set v =
+        once key;
         match int_of_string_opt v with
         | Some n -> r := set !r n
         | None -> fail (Printf.sprintf "bad integer %S" v)
       in
+      (* rounds accumulate newest-first and reverse once at the end: the
+         old [rounds @ [rd]] append was quadratic in the round count *)
+      let rounds_rev = ref [] in
       List.iter
         (fun line ->
           let line = String.trim line in
@@ -131,28 +176,44 @@ let load path =
                     String.sub line (i + 1) (String.length line - i - 1) )
             in
             match key with
-            | "algo" -> r := { !r with algo = value }
-            | "threads" -> int_field (fun r n -> { r with threads = n }) value
+            | "algo" ->
+                once key;
+                r := { !r with algo = value }
+            | "threads" -> int_field key (fun r n -> { r with threads = n }) value
             | "ops-per-thread" ->
-                int_field (fun r n -> { r with ops_per_thread = n }) value
-            | "find-pct" -> int_field (fun r n -> { r with find_pct = n }) value
+                int_field key (fun r n -> { r with ops_per_thread = n }) value
+            | "find-pct" ->
+                int_field key (fun r n -> { r with find_pct = n }) value
             | "key-range" ->
-                int_field (fun r n -> { r with key_range = n }) value
-            | "prefill" -> int_field (fun r n -> { r with prefill = n }) value
+                int_field key (fun r n -> { r with key_range = n }) value
+            | "prefill" -> int_field key (fun r n -> { r with prefill = n }) value
             | "max-crashes" ->
-                int_field (fun r n -> { r with max_crashes = n }) value
-            | "seed" -> int_field (fun r n -> { r with seed = n }) value
-            | "error" -> r := { !r with error = value }
+                int_field key (fun r n -> { r with max_crashes = n }) value
+            | "seed" -> int_field key (fun r n -> { r with seed = n }) value
+            | "error" ->
+                once key;
+                r := { !r with error = value }
             | "round" -> (
                 match parse_round value with
-                | Ok rd -> r := { !r with rounds = !r.rounds @ [ rd ] }
+                | Ok rd -> rounds_rev := rd :: !rounds_rev
                 | Error e -> fail e)
             | k -> fail (Printf.sprintf "unknown field %S" k))
         lines;
       match !err with
       | Some e -> Error e
       | None ->
-          let r = !r in
+          let r = { !r with rounds = List.rev !rounds_rev } in
+          (* A config a campaign could never have run is a vacuous repro:
+             replaying it "passes" while reproducing nothing.  Reject it
+             here so --replay fails loudly on corrupt or truncated files. *)
           if r.algo = "" then Error "missing algo field"
           else if r.threads <= 0 then Error "missing/invalid threads field"
+          else if r.ops_per_thread <= 0 then
+            Error "missing/invalid ops-per-thread field"
+          else if r.key_range <= 0 then Error "missing/invalid key-range field"
+          else if r.max_crashes <= 0 then
+            Error "missing/invalid max-crashes field"
+          else if r.prefill < 0 then Error "invalid prefill field"
+          else if r.find_pct < 0 || r.find_pct > 100 then
+            Error "invalid find-pct field"
           else Ok r)

@@ -7,11 +7,19 @@
     schedule-replay support, reproducing the failure bit-for-bit; the
     line-based file format is documented in DESIGN.md. *)
 
+type wb = [ `Rng | `Drop | `All | `Prefix of int ]
+(** How the crash ending a round resolved outstanding write-backs.
+    [`Rng]: the seeded harness rng drew the surviving subset (the normal
+    campaign path — deterministic under replay because the draw stream is
+    aligned).  The explicit choices come from the exploration harness and
+    replay verbatim through [Pmem.crash ~resolution]. *)
+
 type round = {
   kind : [ `Work | `Recover ];
   crash_at : int;
       (** the [crash_at] parameter that round's [Sim.run] used; -1 = none *)
   schedule : int array;  (** tid picked at each scheduling decision *)
+  wb : wb;  (** write-back resolution of the crash ending this round *)
 }
 
 type t = {
@@ -28,5 +36,12 @@ type t = {
 }
 
 val save : string -> t -> unit
+
 val load : string -> (t, string) result
+(** Parse and {e validate}: files with unknown or duplicate fields, bad
+    round lines, or a configuration no campaign could have run
+    (non-positive [threads]/[ops-per-thread]/[key-range]/[max-crashes],
+    negative [prefill], out-of-range [find-pct]) are rejected — a vacuous
+    config would "replay" successfully while reproducing nothing. *)
+
 val pp : Format.formatter -> t -> unit

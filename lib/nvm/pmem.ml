@@ -334,8 +334,29 @@ let resolve_queue_at_crash rng q =
             | `Drop -> ())
       done
 
-let crash ?rng h =
-  Array.iter (resolve_queue_at_crash rng) pending;
+(* Deterministic resolutions for the exploration harness: instead of an
+   rng-drawn write-back subset, complete an explicit, replayable choice.
+   [`Prefix k] completes each thread's k oldest write-backs in issue
+   order — a prefix always respects fence ordering, so every such choice
+   is a legal NVM state. *)
+let resolve_queue_deterministic choice q =
+  match choice with
+  | `Drop -> Queue.clear q
+  | `All ->
+      Queue.iter (function Apply f -> f () | Fence -> ()) q;
+      Queue.clear q
+  | `Prefix k ->
+      let applied = ref 0 in
+      while not (Queue.is_empty q) do
+        match Queue.pop q with
+        | Fence -> ()
+        | Apply f -> if !applied < k then begin f (); incr applied end
+      done
+
+let crash ?rng ?resolution h =
+  (match resolution with
+  | Some choice -> Array.iter (resolve_queue_deterministic choice) pending
+  | None -> Array.iter (resolve_queue_at_crash rng) pending);
   Array.fill wb_deadline 0 max_threads neg_infinity;
   List.iter (fun f -> f ()) h.resets;
   List.iter (fun f -> f ()) h.metas
@@ -355,3 +376,10 @@ let is_poisoned fld = fld.poisoned
 let outstanding_writebacks tid =
   check_tid tid;
   Queue.fold (fun n e -> match e with Apply _ -> n + 1 | Fence -> n) 0 pending.(tid)
+
+let max_outstanding_writebacks () =
+  let m = ref 0 in
+  for tid = 0 to max_threads - 1 do
+    m := max !m (outstanding_writebacks tid)
+  done;
+  !m

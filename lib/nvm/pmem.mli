@@ -53,14 +53,26 @@ val heap : ?track_for_crash:bool -> ?name:string -> unit -> heap
     {!crash} can restore it; disable for long throughput runs that never
     crash, to avoid unbounded growth. *)
 
-val crash : ?rng:Random.State.t -> heap -> unit
+val crash :
+  ?rng:Random.State.t ->
+  ?resolution:[ `Drop | `All | `Prefix of int ] ->
+  heap ->
+  unit
 (** System-wide crash: outstanding write-backs of {e all} threads are
     resolved — with [rng], each pfence-delimited segment may complete
     fully, partially (a random subset, in issue order) or not at all,
     respecting fence ordering; without [rng], all outstanding write-backs
     are dropped (the harshest adversary).  Then every tracked field of
     [heap] reverts to its persisted value or becomes poisoned, and all
-    cache metadata is cleared. *)
+    cache metadata is cleared.
+
+    [resolution] overrides the rng with a {e deterministic, replayable}
+    write-back choice (used by the exploration harness to sweep
+    adversarial subsets): [`Drop] drops everything, [`All] completes
+    everything, [`Prefix k] completes each thread's [k] oldest
+    write-backs in issue order — a prefix always respects fence ordering,
+    so every choice is a legal NVM state.  No rng draw is consumed when
+    [resolution] is given. *)
 
 val lines_allocated : heap -> int
 
@@ -124,6 +136,11 @@ val system_persist : 'a t -> 'a -> unit
 
 val outstanding_writebacks : int -> int
 (** Number of pending (unsynced) write-back entries of a thread. *)
+
+val max_outstanding_writebacks : unit -> int
+(** Largest per-thread outstanding write-back count, over all threads —
+    the exploration harness uses it to bound its [`Prefix] sweep: with
+    [m] outstanding, [`Prefix k] for [k >= m] is equivalent to [`All]. *)
 
 val reset_pending : unit -> unit
 (** Drop all pending write-backs of all threads (between experiments). *)

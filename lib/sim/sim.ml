@@ -37,12 +37,20 @@ type engine = {
   mutable crashing : bool;
   mutable aborting : bool; (* step limit hit: tear every fiber down *)
   (* Replay: tids to pick at each random-policy scheduling decision,
-     recorded by [record] in an earlier run.  Picks beyond the array (or
-     of tids that are not ready, after a divergence) fall back to the
-     seeded rng. *)
+     recorded by [record] in an earlier run.  A replay entry whose tid is
+     not ready is a divergence: it is reported through [divergence] and
+     the decision falls back to [choose]/the seeded rng.  Divergences
+     desynchronize every later decision, so callers must treat any
+     divergence as "this is not the recorded execution". *)
   replay : int array;
   mutable replay_pos : int;
   record : (int -> unit) option;
+  divergence : (step:int -> want:int -> unit) option;
+  (* External scheduling policy: decisions past the replay tape are
+     delegated here instead of the rng.  [crashing] tells the chooser the
+     run is only draining doomed fibers, whose order is semantically
+     inert. *)
+  choose : (crashing:bool -> int array -> int) option;
 }
 
 type ctx = {
@@ -120,6 +128,19 @@ let ready_index_of_tid e tid =
   done;
   !found
 
+(* The ready tids at this decision, in ascending order (for [choose]). *)
+let ready_tids e =
+  let n = e.ready_len in
+  let tids = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    let _, _, slot = e.ready.(j) in
+    match e.slots.(slot) with
+    | Some (t, _) -> tids.(j) <- t
+    | None -> assert false
+  done;
+  Array.sort compare tids;
+  tids
+
 let pop_random e =
   let n = e.ready_len in
   assert (n > 0);
@@ -128,10 +149,33 @@ let pop_random e =
     else begin
       let want = e.replay.(e.replay_pos) in
       e.replay_pos <- e.replay_pos + 1;
-      ready_index_of_tid e want
+      let i = ready_index_of_tid e want in
+      if i < 0 then begin
+        (* The recorded tid is not ready here: the replay has diverged
+           and every later pick is meaningless.  Report it — silently
+           substituting an rng pick used to "replay" a different
+           execution while claiming success. *)
+        match e.divergence with
+        | None -> ()
+        | Some f -> f ~step:e.steps ~want
+      end;
+      i
     end
   in
-  let i = if replayed >= 0 then replayed else Random.State.int e.rng n in
+  let i =
+    if replayed >= 0 then replayed
+    else
+      match e.choose with
+      | Some f ->
+          let tid = f ~crashing:e.crashing (ready_tids e) in
+          let i = ready_index_of_tid e tid in
+          if i < 0 then
+            failwith
+              (Printf.sprintf "Sim: choose picked tid %d, which is not ready"
+                 tid)
+          else i
+      | None -> Random.State.int e.rng n
+  in
   let entry = e.ready.(i) in
   e.ready.(i) <- e.ready.(n - 1);
   e.ready_len <- n - 1;
@@ -227,7 +271,7 @@ let request_crash () =
 (* ---- the driver ------------------------------------------------------ *)
 
 let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
-    ?(schedule = [||]) ?record bodies =
+    ?(schedule = [||]) ?record ?divergence ?choose bodies =
   if in_sim () then failwith "Sim.run: nested runs are not supported";
   let n = Array.length bodies in
   let e =
@@ -248,6 +292,8 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       replay = schedule;
       replay_pos = 0;
       record;
+      divergence;
+      choose;
     }
   in
   let contexts =
@@ -268,9 +314,14 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
                   e.clocks.(i) <- e.clocks.(i) +. c.pending_cost;
                   c.pending_cost <- 0.;
                   e.steps <- e.steps + 1;
+                  (* Boundary convention (see sim.mli): a bound of n
+                     fires at the n-th scheduling step — steps 1..n-1
+                     complete normally, the n-th [step] call does not
+                     return.  Both bounds use the same comparison so the
+                     explorer's crash-point enumeration is exact. *)
                   if
                     e.aborting
-                    || (e.step_limit >= 0 && e.steps > e.step_limit)
+                    || (e.step_limit >= 1 && e.steps >= e.step_limit)
                   then begin
                     (* Unwind this fiber here (its finalizers run);
                        [exnc] re-raises into the driver loop, which
@@ -280,7 +331,7 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
                     Effect.Deep.discontinue k Step_limit
                   end
                   else begin
-                    if e.crash_at >= 0 && e.steps >= e.crash_at then
+                    if e.crash_at >= 1 && e.steps >= e.crash_at then
                       mark_crashing e;
                     if e.crashing then Effect.Deep.discontinue k Crashed
                     else begin

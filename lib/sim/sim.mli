@@ -46,20 +46,38 @@ val run :
   ?step_limit:int ->
   ?schedule:int array ->
   ?record:(int -> unit) ->
+  ?divergence:(step:int -> want:int -> unit) ->
+  ?choose:(crashing:bool -> int array -> int) ->
   (int -> unit) array ->
   outcome
 (** [run bodies] executes [bodies.(i) i] as logical thread [i] until all
-    complete or a crash triggers.  [crash_at] crashes the system at that
-    global step count (a step is one {!step} call); [step_limit] makes
-    the run raise {!Step_limit} beyond that many steps — after unwinding
-    every suspended fiber, so no continuation is abandoned.  Nested runs
-    are not allowed.
+    complete or a crash triggers.  Nested runs are not allowed.
+
+    {b Boundary convention} (shared by [crash_at] and [step_limit]): a
+    bound of [n] (with [n >= 1]) fires {e at} the [n]-th global
+    scheduling step — steps [1..n-1] complete normally, and the [n]-th
+    {!step} call does not return.  For [crash_at] the yielding fiber is
+    discontinued with {!Crashed} and the run returns [Crashed_at n]; for
+    [step_limit] the run raises {!Step_limit} after unwinding every
+    suspended fiber, so no continuation is abandoned.  Values [<= 0]
+    disable the bound.  Exactly the interval [1..n] of crash points is
+    meaningful for a run that executes [n] steps when left alone; a
+    [crash_at] beyond that completes with [All_done].
 
     [record] is called with the chosen tid at every scheduling decision;
     feeding the recorded sequence back as [schedule] replays a
-    [`Random]-policy run bit-for-bit (picks beyond the recorded schedule,
-    or of tids no longer ready after a divergence, fall back to the
-    seeded rng). *)
+    [`Random]-policy run bit-for-bit.  A replay entry whose tid is not
+    ready at that decision is a {e divergence}: it is reported through
+    [divergence] (with the current step and the wanted tid) and the
+    decision falls back to [choose] or the seeded rng.  Any divergence
+    means the execution is no longer the recorded one — callers replaying
+    a failure must surface it rather than trust the outcome.
+
+    [choose] delegates every decision past the replay tape to an external
+    scheduling policy: it receives the ready tids in ascending order and
+    must return one of them ([~crashing:true] marks post-crash drain
+    decisions, whose order is semantically inert).  Used by the
+    exploration harness to enumerate schedules deterministically. *)
 
 val in_sim : unit -> bool
 (** Whether the caller is executing inside a simulated fiber. *)

@@ -18,6 +18,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("crashes", Test_crashes.suite);
       ("repro", Test_repro.suite);
+      ("explore", Test_explore.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
     ]

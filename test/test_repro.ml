@@ -41,6 +41,10 @@ let test_broken_variant_replays () =
   | Error e -> Alcotest.(check string) "identical failure again" error e
   | Ok () -> Alcotest.fail "second replay did not reproduce the failure"
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 let with_temp_file f =
   let path = Filename.temp_file "tracking-nvm" ".tmp" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
@@ -85,8 +89,144 @@ let test_save_load_roundtrip () =
               Alcotest.(check bool) "round kind" true (a.Repro.kind = b.Repro.kind);
               Alcotest.(check int) "round crash" a.Repro.crash_at b.Repro.crash_at;
               Alcotest.(check (array int))
-                "round schedule" a.Repro.schedule b.Repro.schedule)
+                "round schedule" a.Repro.schedule b.Repro.schedule;
+              Alcotest.(check bool) "round wb" true (a.Repro.wb = b.Repro.wb))
             r.Repro.rounds r'.Repro.rounds)
+
+(* pp/load round-trip over arbitrary well-formed repros: every value the
+   printer can emit must load back identically. *)
+let gen_repro =
+  let open QCheck.Gen in
+  let gen_round =
+    let* kind = oneofl [ `Work; `Recover ] in
+    let* crash_at = frequency [ (1, return (-1)); (3, int_range 1 200) ] in
+    let* schedule = array_size (int_range 0 12) (int_range 0 7) in
+    let* wb =
+      oneof
+        [
+          return `Rng; return `Drop; return `All;
+          map (fun k -> `Prefix k) (int_range 1 9);
+        ]
+    in
+    return { Repro.kind; crash_at; schedule; wb }
+  in
+  let* algo = oneofl [ "tracking"; "tracking-broken"; "capsules-opt" ] in
+  let* threads = int_range 1 8 in
+  let* ops_per_thread = int_range 1 30 in
+  let* find_pct = int_range 0 100 in
+  let* key_range = int_range 1 128 in
+  let* prefill = int_range 0 64 in
+  let* max_crashes = int_range 1 6 in
+  let* seed = int_range 0 10_000 in
+  let* error =
+    oneofl
+      [
+        "oracle: key 3: phantom response";
+        "poison: touched never-persisted data: node:7";
+        "invariant: order violation: 5 before 2";
+      ]
+  in
+  let* rounds = list_size (int_range 0 6) gen_round in
+  return
+    {
+      Repro.algo; threads; ops_per_thread; find_pct; key_range; prefill;
+      max_crashes; seed; error; rounds;
+    }
+
+let test_qcheck_pp_load_roundtrip () =
+  let prop r =
+    with_temp_file (fun path ->
+        Repro.save path r;
+        match Repro.load path with
+        | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+        | Ok r' -> r = r')
+  in
+  let cell =
+    QCheck.Test.make ~count:200 ~name:"repro pp/load round-trip"
+      (QCheck.make gen_repro ~print:(fun r -> Format.asprintf "%a" Repro.pp r))
+      prop
+  in
+  QCheck.Test.check_exn cell
+
+(* Malformed files must be rejected with an error, never silently
+   accepted: a vacuous config "replays" successfully while reproducing
+   nothing. *)
+let test_malformed_corpus () =
+  let header =
+    "tracking-nvm-repro v1\nalgo tracking\nthreads 2\nops-per-thread 3\n\
+     find-pct 30\nkey-range 8\nprefill 4\nmax-crashes 2\nseed 7\nerror x\n"
+  in
+  let cases =
+    [
+      ("empty file", "");
+      ("bad magic", "some-other-format v9\n" ^ header);
+      ("missing algo", "tracking-nvm-repro v1\nthreads 2\nops-per-thread 3\n\
+                        find-pct 30\nkey-range 8\nprefill 4\nmax-crashes 2\n\
+                        seed 7\nerror x\n");
+      ("zero threads", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 0";
+           "ops-per-thread 3"; "find-pct 30"; "key-range 8"; "prefill 4";
+           "max-crashes 2"; "seed 7"; "error x"; "" ]);
+      ("zero ops-per-thread", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 2";
+           "ops-per-thread 0"; "find-pct 30"; "key-range 8"; "prefill 4";
+           "max-crashes 2"; "seed 7"; "error x"; "" ]);
+      ("zero key-range", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 2";
+           "ops-per-thread 3"; "find-pct 30"; "key-range 0"; "prefill 4";
+           "max-crashes 2"; "seed 7"; "error x"; "" ]);
+      ("zero max-crashes", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 2";
+           "ops-per-thread 3"; "find-pct 30"; "key-range 8"; "prefill 4";
+           "max-crashes 0"; "seed 7"; "error x"; "" ]);
+      ("negative prefill", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 2";
+           "ops-per-thread 3"; "find-pct 30"; "key-range 8"; "prefill -1";
+           "max-crashes 2"; "seed 7"; "error x"; "" ]);
+      ("find-pct out of range", String.concat "\n"
+         [ "tracking-nvm-repro v1"; "algo tracking"; "threads 2";
+           "ops-per-thread 3"; "find-pct 140"; "key-range 8"; "prefill 4";
+           "max-crashes 2"; "seed 7"; "error x"; "" ]);
+      ("unknown field", header ^ "wibble 3\n");
+      ("duplicate key", header ^ "threads 4\n");
+      ("bad integer", "tracking-nvm-repro v1\nalgo tracking\nthreads two\n");
+      ("bad round kind", header ^ "round sleep 5 0,1\n");
+      ("bad round crash point", header ^ "round work x 0,1\n");
+      ("bad round schedule", header ^ "round work 5 0,one,2\n");
+      ("bad round wb", header ^ "round work 5 0,1 sometimes\n");
+      ("bad round wb prefix", header ^ "round work 5 0,1 prefix:0\n");
+      ("truncated round line", header ^ "round work\n");
+    ]
+  in
+  List.iter
+    (fun (name, contents) ->
+      with_temp_file (fun path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc contents);
+          match Repro.load path with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "%s: accepted" name))
+    cases
+
+(* A hand-corrupted schedule must fail the replay with a divergence
+   report — never silently re-randomize into a "successful" replay. *)
+let test_corrupted_schedule_diverges () =
+  let cfg, seed, error, rounds = find_failure () in
+  let r = Crashes.repro_of cfg ~seed ~error ~rounds in
+  let corrupt (rd : Repro.round) =
+    (* tid 61 exists in no campaign here: the entry can never be honored *)
+    let s = Array.copy rd.Repro.schedule in
+    if Array.length s > 0 then s.(Array.length s / 2) <- 61;
+    { rd with Repro.schedule = s }
+  in
+  let r = { r with Repro.rounds = List.map corrupt r.Repro.rounds } in
+  match Crashes.replay r with
+  | Ok () -> Alcotest.fail "corrupted replay claimed success"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the divergence (%s)" e)
+        true
+        (starts_with ~prefix:"schedule divergence" e)
 
 let test_shrink_minimizes () =
   let cfg, seed, error, rounds = find_failure () in
@@ -98,14 +238,16 @@ let test_shrink_minimizes () =
   Alcotest.(check bool)
     (Printf.sprintf "ops/thread shrunk to %d" s.Repro.ops_per_thread)
     true (s.Repro.ops_per_thread <= 4);
+  (* the shrinker may only adopt probes failing with the original bug *)
+  let error_class e =
+    match String.index_opt e ':' with Some i -> String.sub e 0 i | None -> e
+  in
+  Alcotest.(check string) "shrunk error is the original bug"
+    (error_class error) (error_class s.Repro.error);
   (* the shrunk repro is itself a faithful, replayable counterexample *)
   match Crashes.replay s with
   | Error e -> Alcotest.(check string) "shrunk failure replays" s.Repro.error e
   | Ok () -> Alcotest.fail "shrunk repro did not reproduce"
-
-let starts_with ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
 
 let test_trace_is_wellformed_jsonl () =
   with_temp_file (fun path ->
@@ -166,6 +308,12 @@ let suite =
       test_run_once_saves_loadable_repro;
     Alcotest.test_case "repro save/load roundtrip" `Quick
       test_save_load_roundtrip;
+    Alcotest.test_case "qcheck pp/load round-trip" `Quick
+      test_qcheck_pp_load_roundtrip;
+    Alcotest.test_case "malformed repro files rejected" `Quick
+      test_malformed_corpus;
+    Alcotest.test_case "corrupted schedule fails loudly" `Quick
+      test_corrupted_schedule_diverges;
     Alcotest.test_case "shrinker minimizes the counterexample" `Quick
       test_shrink_minimizes;
     Alcotest.test_case "trace is well-formed JSONL" `Quick

@@ -205,6 +205,99 @@ let test_schedule_record_replay () =
   let replayed = run ~seed:9999 ~schedule ~record:(fun _ -> ()) in
   Alcotest.(check bool) "identical interleaving" true (replayed = original)
 
+let test_boundary_exactness () =
+  (* Both bounds follow one convention (see sim.mli): a bound of n fires
+     at the n-th scheduling step — steps 1..n-1 complete, the n-th [step]
+     call does not return.  Lock the exact boundary on both sides. *)
+  let body completed = [| (fun _ -> for _ = 1 to 5 do Sim.step 1. done; incr completed) |] in
+  let c = ref 0 in
+  (match Sim.run ~policy:`Random ~crash_at:5 (body c) with
+  | Sim.Crashed_at n -> Alcotest.(check int) "crash at exactly 5" 5 n
+  | Sim.All_done -> Alcotest.fail "crash_at 5 must fire on the 5th step");
+  Alcotest.(check int) "5th step call did not return" 0 !c;
+  let c = ref 0 in
+  (match Sim.run ~policy:`Random ~crash_at:6 (body c) with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at n -> Alcotest.failf "crash_at 6 fired at %d of 5 steps" n);
+  Alcotest.(check int) "all 5 steps completed" 1 !c;
+  let c = ref 0 in
+  (match Sim.run ~policy:`Random ~step_limit:5 (body c) with
+  | exception Sim.Step_limit -> ()
+  | _ -> Alcotest.fail "step_limit 5 must fire on the 5th step");
+  Alcotest.(check int) "5th step call aborted" 0 !c;
+  let c = ref 0 in
+  (match Sim.run ~policy:`Random ~step_limit:6 (body c) with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+  Alcotest.(check int) "limit 6 lets 5 steps finish" 1 !c
+
+let test_replay_divergence_reported () =
+  let bodies =
+    Array.init 2 (fun _ _ ->
+        for _ = 1 to 10 do
+          Sim.step 1.
+        done)
+  in
+  let picks = ref [] in
+  ignore
+    (Sim.run ~policy:`Random ~seed:3
+       ~record:(fun tid -> picks := tid :: !picks)
+       bodies
+      : Sim.outcome);
+  let schedule = Array.of_list (List.rev !picks) in
+  (* a clean replay reports no divergence *)
+  let count = ref 0 in
+  ignore
+    (Sim.run ~policy:`Random ~seed:3 ~schedule
+       ~divergence:(fun ~step:_ ~want:_ -> incr count)
+       bodies
+      : Sim.outcome);
+  Alcotest.(check int) "faithful replay has no divergence" 0 !count;
+  (* corrupt one entry to a tid that is never ready: the divergence
+     callback must fire with that entry, not be silently skipped *)
+  let bad = Array.copy schedule in
+  bad.(Array.length bad / 2) <- 61;
+  let wants = ref [] in
+  ignore
+    (Sim.run ~policy:`Random ~seed:3 ~schedule:bad
+       ~divergence:(fun ~step:_ ~want -> wants := want :: !wants)
+       bodies
+      : Sim.outcome);
+  Alcotest.(check bool) "divergence reported" true (List.mem 61 !wants)
+
+let test_choose_drives_scheduling () =
+  (* an external chooser that always picks the highest ready tid must run
+     thread 1 to completion before thread 0 executes at all *)
+  let log = ref [] in
+  let seen_single = ref false in
+  ignore
+    (Sim.run ~policy:`Random
+       ~choose:(fun ~crashing:_ ready ->
+         if Array.length ready = 1 then seen_single := true;
+         ready.(Array.length ready - 1))
+       (Array.init 2 (fun i _ ->
+            for j = 0 to 4 do
+              Sim.step 1.;
+              log := (i, j) :: !log
+            done))
+      : Sim.outcome);
+  let order = List.rev !log in
+  Alcotest.(check (list (pair int int)))
+    "thread 1 runs first"
+    [ (1, 0); (1, 1); (1, 2); (1, 3); (1, 4);
+      (0, 0); (0, 1); (0, 2); (0, 3); (0, 4) ]
+    order;
+  Alcotest.(check bool) "single-ready decisions also consulted" true
+    !seen_single;
+  (* a chooser returning a non-ready tid is a hard error, not a fallback *)
+  match
+    Sim.run ~policy:`Random
+      ~choose:(fun ~crashing:_ _ -> 61)
+      [| (fun _ -> Sim.step 1.) |]
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "non-ready choose pick must fail"
+
 let test_many_threads () =
   let n = 60 in
   let done_ = Array.make n false in
@@ -239,5 +332,11 @@ let suite =
       test_step_limit_runs_finalizers;
     Alcotest.test_case "schedule record/replay" `Quick
       test_schedule_record_replay;
+    Alcotest.test_case "crash/step-limit boundary exactness" `Quick
+      test_boundary_exactness;
+    Alcotest.test_case "replay divergence reported" `Quick
+      test_replay_divergence_reported;
+    Alcotest.test_case "choose drives scheduling" `Quick
+      test_choose_drives_scheduling;
     Alcotest.test_case "sixty threads" `Quick test_many_threads;
   ]
