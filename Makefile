@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke clean figures
 
-check: build test explore-smoke
+check: build test explore-smoke metrics-smoke
 
 build:
 	dune build
@@ -14,6 +14,16 @@ test:
 explore-smoke:
 	dune exec bin/repro.exe -- explore -a tracking -t 2 --ops 1 \
 	  --keys 4 --prefill 1 --preemptions 2 --crashes 1 --wb 2 --max-execs 0
+
+# Metrics + Perfetto smoke: a small campaign with metrics and tracing on;
+# --validate re-parses the emitted trace_event JSON and requires at least
+# one complete span per thread track.  repro stats must report in-memory
+# latency/contention/recovery profiles for a crashing seed.
+metrics-smoke:
+	dune exec bin/repro.exe -- trace -a tracking -t 3 --ops 12 --crashes 2 \
+	  --keys 32 --seed 7 --perfetto _build/perfetto-smoke.json --validate
+	dune exec bin/repro.exe -- stats -a tracking -t 4 --ops 40 --crashes 2 \
+	  --keys 64 --seed 1
 
 clean:
 	dune clean

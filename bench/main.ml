@@ -294,7 +294,28 @@ let run_extras ~quick =
     float_of_int !swaps /. duration *. 1000.
   in
   table "[extension] exchanger rendezvous rate (Mops/s)"
-    [ ("exchanges", List.map exchanger_rate (List.filter (fun n -> n >= 2) sweep)) ]
+    [ ("exchanges", List.map exchanger_rate (List.filter (fun n -> n >= 2) sweep)) ];
+
+  (* Extension 6: operation latency profiles, from the metrics layer.
+     Virtual nanoseconds; throughput numbers above are unaffected because
+     metrics charge no simulator cost. *)
+  let latency factory =
+    Metrics.enable ();
+    Fun.protect ~finally:Metrics.disable (fun () ->
+        let p =
+          Runner.measure ~duration_ns:duration ~seed:1 ~prepare:Metrics.enable
+            factory ~threads:16 ui
+        in
+        [ p.Runner.lat_p50_ns; p.Runner.lat_p90_ns; p.Runner.lat_p99_ns;
+          p.Runner.lat_max_ns ])
+  in
+  table
+    "[extension] operation latency at 16 threads, update-intensive (virtual \
+     ns: p50 p90 p99 max)"
+    [
+      ("tracking", latency Set_intf.tracking);
+      ("capsules-opt", latency Set_intf.capsules_opt);
+    ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -53,7 +53,8 @@ let cfg_of_quick quick =
 let figure_ids =
   Arg.(
     value & pos_all string []
-    & info [] ~docv:"FIG" ~doc:"Figure ids (3a..4f, 5r, 5u, 6r, 6u); all if none.")
+    & info [] ~docv:"FIG"
+        ~doc:"Figure ids (3a..4f, 5r, 5u, 6r, 6u, 7r, 7u); all if none.")
 
 let figures_cmd =
   let csv =
@@ -437,6 +438,183 @@ let soak_cmd =
          "Run crash-injection campaigns indefinitely (or for --rounds),           50 fresh seeds per round.")
     Term.(const run $ algo $ mix $ rounds $ threads)
 
+(* -- stats ---------------------------------------------------------------- *)
+
+let campaign_cfg algo mix threads ops crashes key_range =
+  Crashes.
+    {
+      factory = algo;
+      threads;
+      ops_per_thread = ops;
+      workload =
+        { (Workload.default mix) with key_range; prefill_n = key_range / 2 };
+      max_crashes = crashes;
+    }
+
+let stats_cmd =
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let crashes =
+    Arg.(value & opt int 2 & info [ "crashes" ] ~doc:"Max crashes injected.")
+  in
+  let key_range =
+    Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Contended cache lines to report.")
+  in
+  let run algo mix threads ops crashes key_range seed top =
+    if algo.Set_intf.fname = "harris" && crashes > 0 then begin
+      Format.printf "harris is volatile: it cannot recover from crashes@.";
+      exit 1
+    end;
+    let cfg = campaign_cfg algo mix threads ops crashes key_range in
+    Metrics.enable ();
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Metrics.disable ())
+        (fun () ->
+          let r = Crashes.run_once cfg ~seed in
+          Format.printf
+            "%s: %d threads × %d ops, mix %s, seed %d@.@."
+            algo.Set_intf.fname threads ops mix.Workload.name seed;
+          Report.pp_metrics ~top Format.std_formatter ();
+          r)
+    in
+    match result with
+    | Ok _ -> ()
+    | Error msg ->
+        Format.printf "@.DETECTABILITY VIOLATION — %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one seeded crash campaign with metrics enabled and print the \
+          report: latency histograms per op kind, the most contended cache \
+          lines, recovery durations.  Nothing is written to disk.")
+    Term.(
+      const run $ algo $ mix $ threads $ ops $ crashes $ key_range $ seed
+      $ top)
+
+(* -- trace (Perfetto export) ---------------------------------------------- *)
+
+let trace_cmd =
+  let threads =
+    Arg.(value & opt int 3 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(value & opt int 10 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let crashes =
+    Arg.(value & opt int 2 & info [ "crashes" ] ~doc:"Max crashes injected.")
+  in
+  let key_range =
+    Arg.(value & opt int 32 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let from =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Convert an existing JSONL trace instead of running a campaign.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also keep the intermediate JSONL trace at $(docv).")
+  in
+  let perfetto =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Write Chrome trace_event JSON to $(docv) (open in \
+                ui.perfetto.dev).")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Re-parse the emitted JSON and check every thread track has at \
+             least one complete span; exit nonzero otherwise.")
+  in
+  let run algo mix threads ops crashes key_range seed from jsonl perfetto
+      validate =
+    let src, cleanup =
+      match from with
+      | Some f -> (f, fun () -> ())
+      | None ->
+          let path, cleanup =
+            match jsonl with
+            | Some p -> (p, fun () -> ())
+            | None ->
+                let t = Filename.temp_file "repro-trace" ".jsonl" in
+                (t, fun () -> try Sys.remove t with Sys_error _ -> ())
+          in
+          let cfg = campaign_cfg algo mix threads ops crashes key_range in
+          Metrics.enable ();
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Metrics.disable ())
+              (fun () ->
+                Trace.with_file path (fun () -> Crashes.run_once cfg ~seed))
+          in
+          (match result with
+          | Ok o ->
+              Format.printf
+                "campaign: %d ops, %d recovered, %d crashes@."
+                o.Crashes.completed_ops o.Crashes.recovered_ops
+                o.Crashes.crashes
+          | Error msg ->
+              (* still convert: a trace of a failing run is the useful one *)
+              Format.printf "campaign FAILED (converting anyway): %s@." msg);
+          (path, cleanup)
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    match Perfetto.convert ~jsonl:src ~out:perfetto with
+    | Error msg ->
+        Format.printf "conversion failed: %s@." msg;
+        exit 2
+    | Ok s ->
+        Format.printf "wrote %s: %d spans on %d thread tracks (%d events)@."
+          perfetto s.Perfetto.out_spans s.Perfetto.out_threads
+          s.Perfetto.in_events;
+        if validate then begin
+          match Perfetto.validate_file perfetto with
+          | Ok v ->
+              Format.printf
+                "validated: parses, %d spans, every one of %d tracks has a \
+                 complete span@."
+                v.Perfetto.out_spans v.Perfetto.out_threads
+          | Error msg ->
+              Format.printf "VALIDATION FAILED: %s@." msg;
+              exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a small traced campaign (or convert --from an existing JSONL \
+          trace) and export Chrome trace_event JSON for ui.perfetto.dev: \
+          one track per logical thread, operation spans, persistence \
+          instants, crash/round markers.")
+    Term.(
+      const run $ algo $ mix $ threads $ ops $ crashes $ key_range $ seed
+      $ from $ jsonl $ perfetto $ validate)
+
 (* -- classify ------------------------------------------------------------- *)
 
 let classify_cmd =
@@ -478,4 +656,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
           [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
-            soak_cmd; classify_cmd ]))
+            soak_cmd; classify_cmd; stats_cmd; trace_cmd ]))

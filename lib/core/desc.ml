@@ -10,6 +10,7 @@ and 'n t = {
   dline : Pmem.line;
   payload_f : 'n payload Pmem.t;
   result_f : bool option Pmem.t;
+  owner : int;
   mutable tagged_s : 'n state;
   mutable untagged_s : 'n state;
 }
@@ -32,6 +33,7 @@ let make heap ~label ~affect ?(writes = []) ?(news = []) ?(cleanup = [])
       dline;
       payload_f = Pmem.on_line dline payload;
       result_f = Pmem.on_line dline None;
+      owner = (if Sim.in_sim () then Sim.tid () else -1);
       tagged_s = Clean;
       untagged_s = Clean;
     }
@@ -45,6 +47,7 @@ let result d = Pmem.read d.result_f
 let set_result d r = Pmem.write d.result_f (Some r)
 let result_field d = d.result_f
 let line d = d.dline
+let owner d = d.owner
 let tagged d = d.tagged_s
 let untagged d = d.untagged_s
 let same d1 d2 = d1 == d2

@@ -57,6 +57,11 @@ val set_result : 'n t -> bool -> unit
 val result_field : 'n t -> bool option Pmem.t
 val line : 'n t -> Pmem.line
 
+val owner : 'n t -> int
+(** The tid that created the descriptor (captured at {!make} time), or
+    [-1] outside the simulator.  Purely observational — used by the
+    metrics layer to detect helping; no protocol decision depends on it. *)
+
 val tagged : 'n t -> 'n state
 (** The canonical [Tagged] box for this descriptor: all helpers CAS the
     same physical value, so physical-equality CAS behaves like the

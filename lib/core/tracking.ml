@@ -63,8 +63,21 @@ let cleanup ops s d =
     p.Desc.cleanup;
   Pmem.psync s.cleanup_sync
 
+(* Observability hook (see Harness.Metrics): called with the descriptor
+   owner's tid whenever another thread runs Help on its operation.  One
+   ref read when disabled; no protocol behaviour depends on it. *)
+let helped_hook : (int -> unit) option ref = ref None
+
+let note_help d =
+  match !helped_hook with
+  | None -> ()
+  | Some f ->
+      let owner = Desc.owner d in
+      if owner >= 0 && Sim.in_sim () && Sim.tid () <> owner then f owner
+
 (* Algorithm 2. *)
 let help ops s d =
+  note_help d;
   match Desc.result d with
   | Some _ ->
       (* The operation already took effect; a crash (or a race) may have

@@ -79,6 +79,7 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
   let algo = cfg.factory.make heap ~threads:cfg.threads in
   Workload.prefill rng cfg.workload algo;
   Pmem.reset_pending ();
+  if Metrics.active () then Metrics.reset ();
   let initial = algo.Set_intf.contents () in
   let events = ref [] in
   let recovered = ref 0 in
@@ -100,7 +101,10 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
       | [] -> ()
       | op :: rest ->
           pending.(tid) <- Some op;
+          Metrics.op_begin ~kind:(Metrics.kind_of_op op)
+            ~key:(Set_intf.op_key op);
           let ok = Set_intf.apply algo op in
+          Metrics.op_end ~ok;
           record op ok;
           pending.(tid) <- None;
           remaining.(tid) := rest;
@@ -109,16 +113,19 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
     go ()
   in
   let recoverer tid (_ : int) =
-    match pending.(tid) with
+    (match pending.(tid) with
     | None -> ()
     | Some op ->
+        Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key op);
         let ok = algo.Set_intf.recover op in
+        Metrics.op_end ~ok;
         record op ok;
         incr recovered;
         pending.(tid) <- None;
         (match !(remaining.(tid)) with
         | _ :: rest -> remaining.(tid) := rest
-        | [] -> ())
+        | [] -> ()));
+    Metrics.recovery_thread_done ()
   in
   let crash_budget_steps = cfg.threads * cfg.ops_per_thread * 300 in
   (* watchdog: a livelocked structure must fail the campaign, not hang it *)
@@ -189,6 +196,7 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
     else
       match run_round ~kind round bodies with
       | Sim.All_done ->
+          if kind = `Recover then Metrics.recovery_round_done round;
           if Array.exists (fun o -> o <> None) pending then
             (* recovery itself crashed: recover again *)
             rounds ~kind:`Recover (round + 1) (Array.init cfg.threads recoverer)

@@ -383,6 +383,50 @@ let fig_category_impact cfg mix factory =
       ];
   }
 
+(* Beyond the paper: per-operation latency tails from the metrics layer
+   (spans over the virtual clocks).  Not cached: the cache keys carry no
+   metrics state, and latency points are cheap (one run per seed). *)
+let fig_latency cfg mix =
+  Fun.protect ~finally:Metrics.disable @@ fun () ->
+  let series =
+    List.concat_map
+      (fun f ->
+        let sweep q =
+          List.map
+            (fun n ->
+              let acc = ref 0. in
+              for seed = 1 to cfg.seeds do
+                enable_all ();
+                let p =
+                  Runner.measure ~duration_ns:cfg.duration_ns ~seed
+                    ~prepare:Metrics.enable f ~threads:n
+                    (Workload.default mix)
+                in
+                acc :=
+                  !acc
+                  +. (if q = `P50 then p.Runner.lat_p50_ns
+                      else p.Runner.lat_p99_ns)
+              done;
+              (n, !acc /. float_of_int cfg.seeds))
+            cfg.sweep
+        in
+        [
+          { label = f.Set_intf.fname ^ " p50"; values = sweep `P50 };
+          { label = f.Set_intf.fname ^ " p99"; values = sweep `P99 };
+        ])
+      detectable_pair
+  in
+  {
+    id =
+      "7"
+      ^ (if mix.Workload.name = Workload.read_intensive.Workload.name then "r"
+         else "u");
+    title = "Operation latency (virtual ns), " ^ mix.Workload.name;
+    ylabel = "latency ns";
+    threads = cfg.sweep;
+    series;
+  }
+
 let all cfg =
   let mixes = [ Workload.read_intensive; Workload.update_intensive ] in
   List.concat_map
@@ -403,3 +447,4 @@ let all cfg =
           fig_category_impact cfg mix Set_intf.capsules_opt;
         ])
       mixes
+  @ List.map (fun mix -> fig_latency cfg mix) mixes

@@ -16,7 +16,9 @@
       high);
     - 3f/4f — cumulative removal of pwb categories (full, −L, −LM, −LMH);
     - 5/6 — the X-caused performance loss per category for Tracking and
-      Capsules-Opt: persistence-free plus each category alone.
+      Capsules-Opt: persistence-free plus each category alone;
+    - 7r/7u (beyond the paper) — per-operation latency p50/p99 from the
+      metrics layer, against thread count.
 
     The classification is computed once per (algorithm, mix) at a
     representative high-contention thread count and then treated as a
@@ -54,6 +56,10 @@ val fig_category_impact :
 (** Figures 5 and 6: pass {!Set_intf.tracking} or
     {!Set_intf.capsules_opt}. *)
 
+val fig_latency : config -> Workload.mix -> figure
+(** Beyond-paper figure 7: p50/p99 operation latency per thread count,
+    measured with [Metrics] enabled (and disabled again on return). *)
+
 val classification :
   config -> Workload.mix -> Set_intf.factory ->
   (string * Pstats.category * float) list
@@ -61,4 +67,5 @@ val classification :
     category, relative throughput loss. *)
 
 val all : config -> figure list
-(** Every figure of the paper, in order: 3a–3f, 4a–4f, 5, 6. *)
+(** Every figure of the paper, in order: 3a–3f, 4a–4f, 5, 6, plus the
+    beyond-paper latency figures 7r/7u. *)

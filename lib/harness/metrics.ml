@@ -1,0 +1,407 @@
+(* Operation-level metrics over the Sim/Pmem observability hooks.
+
+   Same zero-cost-when-off discipline as Trace: every entry point is
+   guarded by one ref read, no virtual time is charged, no RNG draws are
+   consumed, so enabling metrics can never perturb a simulated execution
+   (test_repro locks the analogous property for the tracer).
+
+   All durations are virtual nanoseconds on the per-thread Sim clocks. *)
+
+let enabled = ref false
+let active () = !enabled
+
+(* Total volume of recorded data; the disabled-path test asserts this
+   stays 0 across a whole campaign when metrics are off. *)
+let events = ref 0
+
+(* ---- registry (same name->entry idiom as Pstats sites) ---------------- *)
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+let n_buckets = 256
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 16
+let counters_rev : counter list ref = ref []
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let gauges_rev : gauge list ref = ref []
+let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let hists_rev : histogram list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      Hashtbl.add counters_tbl name c;
+      counters_rev := c :: !counters_rev;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g = 0. } in
+      Hashtbl.add gauges_tbl name g;
+      gauges_rev := g :: !gauges_rev;
+      g
+
+let fresh_hist name =
+  {
+    h_name = name;
+    buckets = Array.make n_buckets 0;
+    n = 0;
+    sum = 0.;
+    hmin = infinity;
+    hmax = neg_infinity;
+  }
+
+let histogram name =
+  match Hashtbl.find_opt hists_tbl name with
+  | Some h -> h
+  | None ->
+      let h = fresh_hist name in
+      Hashtbl.add hists_tbl name h;
+      hists_rev := h :: !hists_rev;
+      h
+
+let incr_by c k =
+  if !enabled then begin
+    c.c <- c.c + k;
+    incr events
+  end
+
+let incr c = incr_by c 1
+let count c = c.c
+
+let set_gauge g v =
+  if !enabled then begin
+    g.g <- v;
+    events := !events + 1
+  end
+
+let gauge_value g = g.g
+
+(* ---- log-bucketed histograms ------------------------------------------ *)
+
+(* 4 buckets per octave: bucket 0 holds v <= 1, bucket i >= 1 holds
+   (2^((i-1)/4), 2^(i/4)].  The representative is the geometric midpoint,
+   so a reported quantile is within a factor of 2^(1/8) (~9%) of the
+   sample at that rank. *)
+let buckets_per_octave = 4.
+
+let bucket_of v =
+  if v <= 1. then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v *. buckets_per_octave) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let rep_of i =
+  if i = 0 then 1. else Float.exp2 ((float_of_int i -. 0.5) /. buckets_per_octave)
+
+let observe h v =
+  if !enabled then begin
+    let v = if Float.is_nan v || v < 0. then 0. else v in
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v;
+    events := !events + 1
+  end
+
+(* Nearest-rank: quantile q is the value of rank ceil(q*n), 1-based. *)
+let quantile h q =
+  if h.n = 0 then 0.
+  else begin
+    let target =
+      let t = int_of_float (Float.ceil (q *. float_of_int h.n)) in
+      if t < 1 then 1 else if t > h.n then h.n else t
+    in
+    let rec scan i acc =
+      if i >= n_buckets then h.hmax
+      else
+        let acc = acc + h.buckets.(i) in
+        if acc >= target then
+          let v = rep_of i in
+          if v < h.hmin then h.hmin else if v > h.hmax then h.hmax else v
+        else scan (i + 1) acc
+    in
+    scan 0 0
+  end
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let summary h =
+  {
+    count = h.n;
+    mean = (if h.n = 0 then 0. else h.sum /. float_of_int h.n);
+    p50 = quantile h 0.5;
+    p90 = quantile h 0.9;
+    p99 = quantile h 0.99;
+    max = (if h.n = 0 then 0. else h.hmax);
+  }
+
+let hist_summary name =
+  Option.map summary (Hashtbl.find_opt hists_tbl name)
+
+let histograms () = List.rev_map (fun h -> (h.h_name, summary h)) !hists_rev
+let counters () = List.rev_map (fun c -> (c.c_name, c.c)) !counters_rev
+let gauges () = List.rev_map (fun g -> (g.g_name, g.g)) !gauges_rev
+
+(* ---- well-known instruments ------------------------------------------- *)
+
+let h_op = histogram "op"
+let h_insert = histogram "op.insert"
+let h_delete = histogram "op.delete"
+let h_find = histogram "op.find"
+let h_recover = histogram "op.recover"
+let h_recovery_round = histogram "recovery.round"
+let c_completed = counter "ops.completed"
+let c_helped = counter "ops.helped"
+let c_cas_failed = counter "ops.with_cas_failure"
+let g_recovery_last = gauge "recovery.last_ns"
+
+let hist_for_kind = function
+  | "insert" -> h_insert
+  | "delete" -> h_delete
+  | "find" -> h_find
+  | "recover" -> h_recover
+  | k -> histogram ("op." ^ k)
+
+(* ---- operation spans --------------------------------------------------- *)
+
+type span = {
+  sp_tid : int;
+  sp_kind : string;
+  sp_key : int;
+  sp_begin : float;
+  sp_end : float;
+  sp_ok : bool;
+  sp_cas_failures : int;
+  sp_helped : bool;
+}
+
+let max_t = Pmem.max_threads
+
+(* In-flight span per thread; cur_kind = "" means none open. *)
+let cur_kind = Array.make max_t ""
+let cur_key = Array.make max_t 0
+let cur_begin = Array.make max_t 0.
+let cur_cas0 = Array.make max_t 0
+let cur_helped = Array.make max_t false
+
+(* Failed CASes per thread, maintained by the Pmem collector. *)
+let cas_fails = Array.make max_t 0
+
+(* Span storage is capped so long metric-enabled sweeps stay bounded;
+   the histograms keep counting past the cap. *)
+let max_spans = 200_000
+let spans_rev : span list ref = ref []
+let n_spans = ref 0
+let sp_dropped = ref 0
+
+let push_span sp =
+  if !n_spans >= max_spans then sp_dropped := !sp_dropped + 1
+  else begin
+    spans_rev := sp :: !spans_rev;
+    n_spans := !n_spans + 1
+  end;
+  events := !events + 1
+
+let spans () = List.rev !spans_rev
+let spans_dropped () = !sp_dropped
+
+let vtid () = if Sim.in_sim () then Sim.tid () else 0
+let vnow () = if Sim.in_sim () then Sim.now () else 0.
+
+let kind_of_op = function
+  | Set_intf.Ins _ -> "insert"
+  | Set_intf.Del _ -> "delete"
+  | Set_intf.Fnd _ -> "find"
+
+let op_begin ~kind ~key =
+  if !enabled || Trace.active () then begin
+    let tid = vtid () in
+    if tid >= 0 && tid < max_t then begin
+      let clock = vnow () in
+      cur_kind.(tid) <- kind;
+      cur_key.(tid) <- key;
+      cur_begin.(tid) <- clock;
+      cur_cas0.(tid) <- cas_fails.(tid);
+      cur_helped.(tid) <- false;
+      Trace.op_begin ~tid ~kind ~key ~clock
+    end
+  end
+
+let op_end ~ok =
+  if !enabled || Trace.active () then begin
+    let tid = vtid () in
+    if tid >= 0 && tid < max_t && cur_kind.(tid) <> "" then begin
+      let clock = vnow () in
+      let kind = cur_kind.(tid) in
+      let cas_failures = cas_fails.(tid) - cur_cas0.(tid) in
+      let helped = cur_helped.(tid) in
+      Trace.op_end ~tid ~ok ~cas_failures ~helped ~clock;
+      if !enabled then begin
+        let dur = Float.max 0. (clock -. cur_begin.(tid)) in
+        observe h_op dur;
+        observe (hist_for_kind kind) dur;
+        incr c_completed;
+        if helped then incr c_helped;
+        if cas_failures > 0 then incr c_cas_failed;
+        push_span
+          {
+            sp_tid = tid;
+            sp_kind = kind;
+            sp_key = cur_key.(tid);
+            sp_begin = cur_begin.(tid);
+            sp_end = clock;
+            sp_ok = ok;
+            sp_cas_failures = cas_failures;
+            sp_helped = helped;
+          }
+      end;
+      cur_kind.(tid) <- ""
+    end
+  end
+
+(* ---- contention profile ------------------------------------------------ *)
+
+type contention = {
+  ct_line : string;
+  ct_cas_failures : int;
+  ct_invalidations : int;
+}
+
+type centry = {
+  ce_line : string;
+  mutable ce_fails : int;
+  mutable ce_invals : int;
+}
+
+let contention_tbl : (string, centry) Hashtbl.t = Hashtbl.create 64
+
+let bump line ~fails ~invals =
+  let e =
+    match Hashtbl.find_opt contention_tbl line with
+    | Some e -> e
+    | None ->
+        let e = { ce_line = line; ce_fails = 0; ce_invals = 0 } in
+        Hashtbl.add contention_tbl line e;
+        e
+  in
+  e.ce_fails <- e.ce_fails + fails;
+  e.ce_invals <- e.ce_invals + invals;
+  events := !events + 1
+
+let contention_top n =
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) contention_tbl [] in
+  let all =
+    List.sort
+      (fun a b ->
+        let c = compare b.ce_fails a.ce_fails in
+        if c <> 0 then c
+        else
+          let c = compare b.ce_invals a.ce_invals in
+          if c <> 0 then c else compare a.ce_line b.ce_line)
+      all
+  in
+  List.filteri (fun i _ -> i < n) all
+  |> List.map (fun e ->
+         {
+           ct_line = e.ce_line;
+           ct_cas_failures = e.ce_fails;
+           ct_invalidations = e.ce_invals;
+         })
+
+(* Only installed while enabled, so no per-event guard is needed here. *)
+let on_pmem_event : Pmem.trace_event -> unit = function
+  | Pmem.Cas { tid; line; success; invalidated } ->
+      if not success then begin
+        if tid >= 0 && tid < max_t then cas_fails.(tid) <- cas_fails.(tid) + 1;
+        bump line ~fails:1 ~invals:invalidated
+      end
+      else if invalidated > 0 then bump line ~fails:0 ~invals:invalidated
+  | Pmem.Write { line; invalidated; _ } ->
+      if invalidated > 0 then bump line ~fails:0 ~invals:invalidated
+  | Pmem.Read _ | Pmem.Pwb _ | Pmem.Pfence _ | Pmem.Psync _ -> ()
+
+let on_helped owner =
+  if owner >= 0 && owner < max_t then cur_helped.(owner) <- true
+
+(* ---- recovery profile -------------------------------------------------- *)
+
+let recovery_cur = ref 0.
+let recovery_rev : (int * float) list ref = ref []
+
+let recovery_thread_done () =
+  if !enabled then recovery_cur := Float.max !recovery_cur (vnow ())
+
+let recovery_round_done round =
+  if !enabled then begin
+    recovery_rev := (round, !recovery_cur) :: !recovery_rev;
+    observe h_recovery_round !recovery_cur;
+    set_gauge g_recovery_last !recovery_cur;
+    recovery_cur := 0.
+  end
+
+let recovery_durations () = List.rev !recovery_rev
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let enable () =
+  if not !enabled then begin
+    enabled := true;
+    Pmem.collector := Some on_pmem_event;
+    Tracking.helped_hook := Some on_helped
+  end
+
+let disable () =
+  if !enabled then begin
+    enabled := false;
+    Pmem.collector := None;
+    Tracking.helped_hook := None
+  end
+
+let reset () =
+  List.iter
+    (fun h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.n <- 0;
+      h.sum <- 0.;
+      h.hmin <- infinity;
+      h.hmax <- neg_infinity)
+    !hists_rev;
+  List.iter (fun c -> c.c <- 0) !counters_rev;
+  List.iter (fun g -> g.g <- 0.) !gauges_rev;
+  Hashtbl.reset contention_tbl;
+  spans_rev := [];
+  n_spans := 0;
+  sp_dropped := 0;
+  Array.fill cur_kind 0 max_t "";
+  Array.fill cur_helped 0 max_t false;
+  Array.fill cas_fails 0 max_t 0;
+  Array.fill cur_cas0 0 max_t 0;
+  recovery_cur := 0.;
+  recovery_rev := [];
+  events := 0
+
+let events_recorded () = !events

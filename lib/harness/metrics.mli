@@ -1,0 +1,157 @@
+(** Operation-level metrics over the [Sim]/[Pmem] observability hooks.
+
+    A process-wide registry of counters, gauges and log-bucketed
+    virtual-time histograms, plus three derived profiles:
+
+    - {e operation spans}: begin/end instrumentation around every
+      [Set_intf] operation (installed by [Runner] and [Crashes]), tagged
+      with op kind, outcome, CAS-failure count and whether the operation
+      was helped by another thread ([Tracking.helped_hook]);
+    - {e contention profile}: per-cache-line CAS failures and cache
+      invalidations, aggregated from [Pmem.collector];
+    - {e recovery durations}: virtual time of each recovery round of a
+      crash campaign ([Crashes]).
+
+    Everything is disabled by default.  When disabled, every entry point
+    is a ref read (or one ref read plus [Trace.active ()] for span
+    boundaries, which also serve the tracer) and allocates nothing; in
+    particular no [Sim] virtual time is charged and no RNG draws are
+    consumed, so enabling or disabling metrics can never change a
+    simulated execution.
+
+    Durations are measured on the per-thread virtual clocks ([Sim.now]),
+    in nanoseconds. *)
+
+(** {1 Activation} *)
+
+val enable : unit -> unit
+(** Turn recording on and install the [Pmem.collector] and
+    [Tracking.helped_hook] hooks.  Idempotent. *)
+
+val disable : unit -> unit
+(** Turn recording off and uninstall the hooks.  Recorded data is kept
+    until {!reset}.  Idempotent. *)
+
+val active : unit -> bool
+
+val reset : unit -> unit
+(** Clear all recorded data — histogram contents, counters, gauges,
+    spans, contention and recovery profiles.  Registered instruments
+    survive (a registry entry is its name).  Called automatically at the
+    start of every [Runner.measure] / [Crashes.run_logged] when metrics
+    are active, so each run reports only its own events. *)
+
+(** {1 Registry} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** [counter name] returns the counter registered under [name], creating
+    it on first use (same idiom as [Pstats.site]). *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val incr_by : counter -> int -> unit
+val count : counter -> int
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record a sample (clamped to [>= 0]).  The histogram is log-bucketed
+    (4 buckets per octave, 256 buckets), so quantiles are exact in rank
+    and approximate in value within a factor of [2^(1/8)] (≈ 9%). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;  (** exact, not bucketed *)
+}
+
+val summary : histogram -> summary
+(** Quantile [q] is the value of rank [ceil (q * count)] (1-based), the
+    usual nearest-rank definition; bucket representatives are clamped to
+    the observed [min]/[max]. *)
+
+val quantile : histogram -> float -> float
+
+val hist_summary : string -> summary option
+(** Summary of the histogram registered under a name, if any samples or
+    registration exist. *)
+
+val histograms : unit -> (string * summary) list
+(** All registered histograms, in registration order. *)
+
+val counters : unit -> (string * int) list
+val gauges : unit -> (string * float) list
+
+(** {1 Operation spans} *)
+
+type span = {
+  sp_tid : int;
+  sp_kind : string;  (** "insert", "delete", "find", "recover" *)
+  sp_key : int;
+  sp_begin : float;  (** virtual ns, clock of the current [Sim.run] *)
+  sp_end : float;
+  sp_ok : bool;  (** the operation's boolean response *)
+  sp_cas_failures : int;  (** failed CASes executed by the thread inside *)
+  sp_helped : bool;  (** another thread ran Help on this op *)
+}
+
+val kind_of_op : Set_intf.op -> string
+
+val op_begin : kind:string -> key:int -> unit
+(** Open a span on the calling simulated thread.  Also emits the
+    [op_begin] trace event when a [Trace] sink is active (spans feed the
+    tracer even when metrics are disabled). *)
+
+val op_end : ok:bool -> unit
+(** Close the calling thread's open span: records the duration into the
+    ["op"] and ["op.<kind>"] histograms and stores the span.  No-op if no
+    span is open. *)
+
+val spans : unit -> span list
+(** Completed spans in completion order.  Storage is capped (the
+    histograms are not); {!spans_dropped} counts the overflow. *)
+
+val spans_dropped : unit -> int
+
+(** {1 Contention profile} *)
+
+type contention = {
+  ct_line : string;  (** cache-line name *)
+  ct_cas_failures : int;
+  ct_invalidations : int;  (** sharer caches invalidated by stores *)
+}
+
+val contention_top : int -> contention list
+(** Top-N lines by CAS failures (ties by invalidations). *)
+
+(** {1 Recovery profile} *)
+
+val recovery_thread_done : unit -> unit
+(** Called by a recoverer fiber when it finishes; records [Sim.now ()] as
+    a candidate duration for the current recovery round (the round's
+    duration is the max over its recoverers). *)
+
+val recovery_round_done : int -> unit
+(** Close the current recovery round (argument: campaign round index):
+    stores its duration and feeds the ["recovery.round"] histogram. *)
+
+val recovery_durations : unit -> (int * float) list
+(** [(round, virtual ns)] per completed recovery round, oldest first. *)
+
+(** {1 Introspection for tests} *)
+
+val events_recorded : unit -> int
+(** Total volume of recorded data — histogram samples, counter
+    increments, spans, contention entries and recovery rounds.  [0] iff
+    nothing was recorded since the last {!reset}; the disabled-path test
+    asserts a full campaign leaves this at [0]. *)

@@ -1,0 +1,441 @@
+(* JSONL trace -> Chrome trace_event JSON (Perfetto-openable).
+
+   The simulator restarts every per-thread clock at 0 on each Sim.run, so
+   a campaign's rounds all start at t=0.  The converter keeps a running
+   offset: when a round boundary (or end of input) is reached, the
+   maximum clock observed inside the round becomes the start of the next
+   one, giving one continuous virtual timeline.  Spans still open at a
+   crash or round boundary are emitted as slices ending at the round's
+   maximum clock and tagged "interrupted". *)
+
+type stats = { out_spans : int; out_threads : int; in_events : int }
+
+(* ---- minimal JSON ------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else raise (Bad (Printf.sprintf "expected '%c' at offset %d" c !pos))
+  in
+  let lit w v =
+    let k = String.length w in
+    if !pos + k <= n && String.sub s !pos k = w then begin
+      pos := !pos + k;
+      v
+    end
+    else raise (Bad (Printf.sprintf "bad literal at offset %d" !pos))
+  in
+  let str () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match s.[!pos] with
+      | '"' ->
+          advance ();
+          Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then raise (Bad "truncated \\u escape");
+              let h = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ h) with
+              | None -> raise (Bad "bad \\u escape")
+              | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+              | Some _ ->
+                  (* non-ASCII: keep escaped, enough for validation *)
+                  Buffer.add_string b ("\\u" ^ h))
+          | _ -> raise (Bad (Printf.sprintf "bad escape at offset %d" !pos)));
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let num () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while
+      match peek () with
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> raise (Bad (Printf.sprintf "bad number at offset %d" start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Str (str ())
+    | 't' -> lit "true" (Bool true)
+    | 'f' -> lit "false" (Bool false)
+    | 'n' -> lit "null" Null
+    | '-' | '0' .. '9' -> num ()
+    | c -> raise (Bad (Printf.sprintf "unexpected '%c' at offset %d" c !pos))
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      Arr []
+    end
+    else
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            items (v :: acc)
+        | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+        | _ -> raise (Bad (Printf.sprintf "expected ',' or ']' at %d" !pos))
+      in
+      items []
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws ();
+        let k = str () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+        | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+        | _ -> raise (Bad (Printf.sprintf "expected ',' or '}' at %d" !pos))
+      in
+      fields []
+  in
+  try
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Bad m -> Error m
+
+(* ---- field accessors --------------------------------------------------- *)
+
+let field k fields = List.assoc_opt k fields
+let fnum k fields = match field k fields with Some (Num f) -> Some f | _ -> None
+let fstr k fields = match field k fields with Some (Str s) -> Some s | _ -> None
+
+let fbool k fields =
+  match field k fields with Some (Bool b) -> Some b | _ -> None
+
+let fint k fields = Option.map int_of_float (fnum k fields)
+
+(* ---- output ------------------------------------------------------------ *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = ns /. 1000.
+
+(* ---- conversion -------------------------------------------------------- *)
+
+type open_span = { os_kind : string; os_key : int; os_begin : float }
+
+let convert ~jsonl ~out =
+  match
+    try Ok (In_channel.with_open_text jsonl In_channel.input_all)
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error m
+  | Ok text -> (
+      match (try Ok (open_out out) with Sys_error m -> Error m) with
+      | Error m -> Error m
+      | Ok oc ->
+          let first = ref true in
+          let raw s =
+            if !first then first := false else output_string oc ",\n  ";
+            output_string oc s
+          in
+          output_string oc "{\"traceEvents\":[\n  ";
+          let offset = ref 0. in
+          let round_max = ref 0. in
+          let opens : (int, open_span) Hashtbl.t = Hashtbl.create 16 in
+          let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+          let spans = ref 0 in
+          let events = ref 0 in
+          let see tid = if not (Hashtbl.mem seen tid) then Hashtbl.add seen tid () in
+          let clockbump c = if c > !round_max then round_max := c in
+          let now_global () = !offset +. !round_max in
+          let span ~tid ~name ~ts ~dur ~args =
+            incr spans;
+            raw
+              (Printf.sprintf
+                 {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{%s}}|}
+                 (esc name) (us_of_ns ts) (us_of_ns dur) tid args)
+          in
+          let instant ~tid ~scope ~name ~ts ~args =
+            raw
+              (Printf.sprintf
+                 {|{"name":"%s","ph":"i","ts":%.3f,"pid":1,"tid":%d,"s":"%s"%s}|}
+                 (esc name) (us_of_ns ts) tid scope
+                 (if args = "" then "" else Printf.sprintf {|,"args":{%s}|} args))
+          in
+          let close_open_spans reason =
+            Hashtbl.iter
+              (fun tid os ->
+                let e = !offset +. !round_max in
+                let b = !offset +. os.os_begin in
+                span ~tid
+                  ~name:(Printf.sprintf "%s(%d) (%s)" os.os_kind os.os_key reason)
+                  ~ts:b
+                  ~dur:(Float.max 0. (e -. b))
+                  ~args:{|"interrupted":true|})
+              opens;
+            Hashtbl.reset opens
+          in
+          let on_line fields =
+            incr events;
+            match fstr "ev" fields with
+            | Some "sched" ->
+                Option.iter see (fint "tid" fields);
+                Option.iter clockbump (fnum "clock" fields)
+            | Some "op_begin" -> (
+                match
+                  (fint "tid" fields, fstr "kind" fields, fint "key" fields,
+                   fnum "clock" fields)
+                with
+                | Some tid, Some kind, Some key, Some clock ->
+                    see tid;
+                    clockbump clock;
+                    Hashtbl.replace opens tid
+                      { os_kind = kind; os_key = key; os_begin = clock }
+                | _ -> ())
+            | Some "op_end" -> (
+                match (fint "tid" fields, fnum "clock" fields) with
+                | Some tid, Some clock -> (
+                    see tid;
+                    clockbump clock;
+                    match Hashtbl.find_opt opens tid with
+                    | None -> ()
+                    | Some os ->
+                        Hashtbl.remove opens tid;
+                        let ok = Option.value ~default:false (fbool "ok" fields) in
+                        let cf = Option.value ~default:0 (fint "cas_fail" fields) in
+                        let helped =
+                          Option.value ~default:false (fbool "helped" fields)
+                        in
+                        span ~tid
+                          ~name:(Printf.sprintf "%s(%d)" os.os_kind os.os_key)
+                          ~ts:(!offset +. os.os_begin)
+                          ~dur:(Float.max 0. (clock -. os.os_begin))
+                          ~args:
+                            (Printf.sprintf
+                               {|"ok":%b,"cas_failures":%d,"helped":%b,"key":%d|}
+                               ok cf helped os.os_key))
+                | _ -> ())
+            | Some "cas" -> (
+                match (fint "tid" fields, fnum "clock" fields) with
+                | Some tid, Some clock ->
+                    see tid;
+                    clockbump clock;
+                    if fbool "ok" fields = Some false then
+                      instant ~tid ~scope:"t"
+                        ~name:
+                          (Printf.sprintf "cas-fail %s"
+                             (Option.value ~default:"?" (fstr "line" fields)))
+                        ~ts:(!offset +. clock) ~args:""
+                | _ -> ())
+            | Some (("pwb" | "pfence" | "psync") as kind) -> (
+                match (fint "tid" fields, fnum "clock" fields) with
+                | Some tid, Some clock ->
+                    see tid;
+                    clockbump clock;
+                    let site = Option.value ~default:"?" (fstr "site" fields) in
+                    let args =
+                      match fstr "impact" fields with
+                      | Some i -> Printf.sprintf {|"impact":"%s"|} (esc i)
+                      | None -> ""
+                    in
+                    instant ~tid ~scope:"t"
+                      ~name:(Printf.sprintf "%s %s" kind site)
+                      ~ts:(!offset +. clock) ~args
+                | _ -> ())
+            | Some "crash" ->
+                close_open_spans "interrupted";
+                instant ~tid:0 ~scope:"g" ~name:"crash" ~ts:(now_global ())
+                  ~args:""
+            | Some "round" ->
+                close_open_spans "interrupted";
+                offset := now_global ();
+                round_max := 0.;
+                let kind = Option.value ~default:"?" (fstr "kind" fields) in
+                let nr = Option.value ~default:0 (fint "n" fields) in
+                instant ~tid:0 ~scope:"g"
+                  ~name:(Printf.sprintf "round %d (%s)" nr kind)
+                  ~ts:!offset ~args:""
+            | Some "note" ->
+                instant ~tid:0 ~scope:"g"
+                  ~name:(Option.value ~default:"note" (fstr "msg" fields))
+                  ~ts:(now_global ()) ~args:""
+            | _ -> ()
+          in
+          let err = ref None in
+          let lineno = ref 0 in
+          String.split_on_char '\n' text
+          |> List.iter (fun line ->
+                 incr lineno;
+                 if !err = None && String.length line > 0 then
+                   match parse_json line with
+                   | Error m ->
+                       err :=
+                         Some (Printf.sprintf "%s:%d: %s" jsonl !lineno m)
+                   | Ok (Obj fields) -> on_line fields
+                   | Ok _ ->
+                       err :=
+                         Some
+                           (Printf.sprintf "%s:%d: not a JSON object" jsonl
+                              !lineno));
+          (match !err with
+          | Some _ -> ()
+          | None ->
+              close_open_spans "unfinished";
+              Hashtbl.iter
+                (fun tid () ->
+                  raw
+                    (Printf.sprintf
+                       {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"thread %d"}}|}
+                       tid tid))
+                seen;
+              raw
+                {|{"name":"process_name","ph":"M","pid":1,"args":{"name":"simulated multicore"}}|});
+          output_string oc "\n]}\n";
+          close_out oc;
+          match !err with
+          | Some m ->
+              (try Sys.remove out with Sys_error _ -> ());
+              Error m
+          | None ->
+              Ok
+                {
+                  out_spans = !spans;
+                  out_threads = Hashtbl.length seen;
+                  in_events = !events;
+                })
+
+(* ---- validation -------------------------------------------------------- *)
+
+let validate_file file =
+  match
+    try Ok (In_channel.with_open_text file In_channel.input_all)
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error m
+  | Ok text -> (
+      match parse_json text with
+      | Error m -> Error (Printf.sprintf "%s: %s" file m)
+      | Ok (Obj fields) -> (
+          match field "traceEvents" fields with
+          | Some (Arr evs) ->
+              let spans_per_tid : (int, int) Hashtbl.t = Hashtbl.create 16 in
+              let tracks : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+              let spans = ref 0 in
+              List.iter
+                (fun ev ->
+                  match ev with
+                  | Obj f -> (
+                      match (fstr "ph" f, fint "tid" f) with
+                      | Some "X", Some tid ->
+                          incr spans;
+                          Hashtbl.replace spans_per_tid tid
+                            (1
+                            + Option.value ~default:0
+                                (Hashtbl.find_opt spans_per_tid tid))
+                      | Some "M", Some tid
+                        when fstr "name" f = Some "thread_name" ->
+                          Hashtbl.replace tracks tid ()
+                      | _ -> ())
+                  | _ -> ())
+                evs;
+              if Hashtbl.length tracks = 0 then
+                Error (file ^ ": no thread tracks")
+              else begin
+                let missing =
+                  Hashtbl.fold
+                    (fun tid () acc ->
+                      if Hashtbl.mem spans_per_tid tid then acc else tid :: acc)
+                    tracks []
+                in
+                match List.sort compare missing with
+                | [] ->
+                    Ok
+                      {
+                        out_spans = !spans;
+                        out_threads = Hashtbl.length tracks;
+                        in_events = List.length evs;
+                      }
+                | tid :: _ ->
+                    Error
+                      (Printf.sprintf
+                         "%s: thread %d has no complete span" file tid)
+              end
+          | _ -> Error (file ^ ": no traceEvents array"))
+      | Ok _ -> Error (file ^ ": not a JSON object"))

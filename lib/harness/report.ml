@@ -64,6 +64,46 @@ let explore_progress (s : Explore.stats) =
     s.Explore.executions s.Explore.failures s.Explore.decision_points
     s.Explore.crash_points s.Explore.wb_choices s.Explore.pruned
 
+(* The metrics report behind `repro stats`: latency table per op kind,
+   top-N contended cache lines, recovery durations, counters. *)
+let pp_metrics ?(top = 10) ppf () =
+  Format.fprintf ppf "— operation latency (virtual ns) —@.";
+  Format.fprintf ppf "%-16s %8s %10s %10s %10s %10s %10s@." "histogram" "count"
+    "mean" "p50" "p90" "p99" "max";
+  List.iter
+    (fun (name, s) ->
+      if s.Metrics.count > 0 then
+        Format.fprintf ppf "%-16s %8d %10.1f %10.1f %10.1f %10.1f %10.1f@."
+          name s.Metrics.count s.Metrics.mean s.Metrics.p50 s.Metrics.p90
+          s.Metrics.p99 s.Metrics.max)
+    (Metrics.histograms ());
+  (match Metrics.contention_top top with
+  | [] -> ()
+  | lines ->
+      Format.fprintf ppf "@.— contention: top %d cache lines —@." top;
+      Format.fprintf ppf "%-32s %12s %14s@." "line" "cas failures"
+        "invalidations";
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "%-32s %12d %14d@." c.Metrics.ct_line
+            c.Metrics.ct_cas_failures c.Metrics.ct_invalidations)
+        lines);
+  (match Metrics.recovery_durations () with
+  | [] -> ()
+  | rounds ->
+      Format.fprintf ppf "@.— recovery rounds —@.";
+      Format.fprintf ppf "%8s %14s@." "round" "duration ns";
+      List.iter
+        (fun (r, d) -> Format.fprintf ppf "%8d %14.1f@." r d)
+        rounds);
+  Format.fprintf ppf "@.— counters —@.";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-24s %d@." name v)
+    (Metrics.counters ());
+  if Metrics.spans_dropped () > 0 then
+    Format.fprintf ppf "(span storage capped: %d spans dropped)@."
+      (Metrics.spans_dropped ())
+
 let figure_to_csv (f : Figures.figure) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "threads";
@@ -79,8 +119,10 @@ let figure_to_csv (f : Figures.figure) =
       List.iter
         (fun s ->
           Buffer.add_char buf ',';
+          (* fixed %.3f so CSV output is byte-stable across environments
+             (and matches the latency columns' precision) *)
           match List.assoc_opt n s.Figures.values with
-          | Some v -> Buffer.add_string buf (Printf.sprintf "%.6f" v)
+          | Some v -> Buffer.add_string buf (Printf.sprintf "%.3f" v)
           | None -> ())
         f.Figures.series;
       Buffer.add_char buf '\n')

@@ -17,8 +17,16 @@ val pp_explore : Format.formatter -> Explore.stats -> unit
 val explore_progress : Explore.stats -> unit
 (** One-line progress report on stderr, for [Explore.run ?progress]. *)
 
+val pp_metrics : ?top:int -> Format.formatter -> unit -> unit
+(** The metrics report behind [repro stats]: per-histogram latency
+    summaries (count, mean, p50/p90/p99/max in virtual ns), the [top]
+    (default 10) most contended cache lines, per-round recovery durations
+    and the counter registry — everything recorded since the last
+    [Metrics.reset]. *)
+
 val figure_to_csv : Figures.figure -> string
-(** One CSV: a [threads] column followed by one column per series. *)
+(** One CSV: a [threads] column followed by one column per series.
+    Values use fixed [%.3f] formatting so output is byte-stable. *)
 
 val write_csv_dir : dir:string -> Figures.config -> unit
 (** Regenerate every figure and write [fig-<id>.csv] files into [dir]

@@ -10,6 +10,10 @@ type point = {
   low_frac : float;
   medium_frac : float;
   high_frac : float;
+  lat_p50_ns : float;
+  lat_p90_ns : float;
+  lat_p99_ns : float;
+  lat_max_ns : float;
 }
 
 let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
@@ -22,13 +26,17 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
   Pmem.reset_pending ();
   prepare ();
   Pstats.reset ();
+  if Metrics.active () then Metrics.reset ();
   let ops = Array.make threads 0 in
   let body tid (_ : int) =
     let trng = Random.State.make [| seed; tid; 0x9E13 |] in
     let rec go () =
       if Sim.now () < duration_ns then begin
         let op = Workload.gen_op trng workload in
-        ignore (Set_intf.apply algo op : bool);
+        Metrics.op_begin ~kind:(Metrics.kind_of_op op)
+          ~key:(Set_intf.op_key op);
+        let ok = Set_intf.apply algo op in
+        Metrics.op_end ~ok;
         ops.(tid) <- ops.(tid) + 1;
         go ()
       end
@@ -39,6 +47,7 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
   | Sim.All_done -> ()
   | Sim.Crashed_at _ -> assert false);
   let total_ops = Array.fold_left ( + ) 0 ops in
+  let lat = if Metrics.active () then Metrics.hist_summary "op" else None in
   let t = Pstats.totals () in
   let per x = if total_ops = 0 then 0. else float_of_int x /. float_of_int total_ops in
   let frac x =
@@ -58,11 +67,16 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
     low_frac = frac t.Pstats.low;
     medium_frac = frac t.Pstats.medium;
     high_frac = frac t.Pstats.high;
+    lat_p50_ns = (match lat with Some s -> s.Metrics.p50 | None -> 0.);
+    lat_p90_ns = (match lat with Some s -> s.Metrics.p90 | None -> 0.);
+    lat_p99_ns = (match lat with Some s -> s.Metrics.p99 | None -> 0.);
+    lat_max_ns = (match lat with Some s -> s.Metrics.max | None -> 0.);
   }
 
 let pp_point ppf p =
   Format.fprintf ppf
     "%-13s t=%-3d %-17s %7.3f Mops/s  ops=%-7d pwb/op=%5.1f psync/op=%4.1f \
-     pfence/op=%4.1f  L/M/H=%.2f/%.2f/%.2f"
+     pfence/op=%4.1f  L/M/H=%.2f/%.2f/%.2f  lat[p50/p99/max]=%.3f/%.3f/%.3f"
     p.algo p.threads p.mix p.throughput_mops p.ops p.pwbs_per_op
     p.psyncs_per_op p.pfences_per_op p.low_frac p.medium_frac p.high_frac
+    p.lat_p50_ns p.lat_p99_ns p.lat_max_ns

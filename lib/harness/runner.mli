@@ -16,6 +16,12 @@ type point = {
   low_frac : float;  (** fraction of executed pwbs in each impact class *)
   medium_frac : float;
   high_frac : float;
+  lat_p50_ns : float;
+      (** per-operation latency summary (virtual ns) when [Metrics] was
+          active during the run; all 0 otherwise *)
+  lat_p90_ns : float;
+  lat_p99_ns : float;
+  lat_max_ns : float;
 }
 
 val measure :

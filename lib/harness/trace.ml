@@ -45,23 +45,31 @@ let on_sim_event : Sim.trace_event -> unit = function
       emit {|{"ev":"sched","step":%d,"tid":%d,"clock":%.1f}|} step tid clock
   | Sim.Crash { step } -> emit {|{"ev":"crash","step":%d}|} step
 
+(* The per-thread virtual clock at the instant of the event (resets to 0
+   at every [Sim.run]; the Perfetto converter re-bases rounds).  New
+   fields are appended after the existing ones so consumers matching on
+   line prefixes keep working. *)
+let clk () = if Sim.in_sim () then Sim.now () else 0.
+
 let on_pmem_event : Pmem.trace_event -> unit = function
   | Pmem.Read { tid; line; hit } ->
       emit {|{"ev":"read","tid":%d,"line":"%s","hit":%b}|} tid (escape line)
         hit
-  | Pmem.Write { tid; line; hit } ->
-      emit {|{"ev":"write","tid":%d,"line":"%s","hit":%b}|} tid (escape line)
-        hit
-  | Pmem.Cas { tid; line; success } ->
-      emit {|{"ev":"cas","tid":%d,"line":"%s","ok":%b}|} tid (escape line)
-        success
+  | Pmem.Write { tid; line; hit; invalidated } ->
+      emit {|{"ev":"write","tid":%d,"line":"%s","hit":%b,"inv":%d}|} tid
+        (escape line) hit invalidated
+  | Pmem.Cas { tid; line; success; invalidated } ->
+      emit {|{"ev":"cas","tid":%d,"line":"%s","ok":%b,"inv":%d,"clock":%.1f}|}
+        tid (escape line) success invalidated (clk ())
   | Pmem.Pwb { tid; site; impact } ->
-      emit {|{"ev":"pwb","tid":%d,"site":"%s","impact":"%s"}|} tid
-        (escape site) (impact_name impact)
+      emit {|{"ev":"pwb","tid":%d,"site":"%s","impact":"%s","clock":%.1f}|} tid
+        (escape site) (impact_name impact) (clk ())
   | Pmem.Pfence { tid; site } ->
-      emit {|{"ev":"pfence","tid":%d,"site":"%s"}|} tid (escape site)
+      emit {|{"ev":"pfence","tid":%d,"site":"%s","clock":%.1f}|} tid
+        (escape site) (clk ())
   | Pmem.Psync { tid; site } ->
-      emit {|{"ev":"psync","tid":%d,"site":"%s"}|} tid (escape site)
+      emit {|{"ev":"psync","tid":%d,"site":"%s","clock":%.1f}|} tid
+        (escape site) (clk ())
 
 let stop () =
   match !sink with
@@ -79,7 +87,13 @@ let start_channel oc =
   Sim.tracer := Some on_sim_event;
   Pmem.tracer := Some on_pmem_event
 
-let start path = start_channel (open_out path)
+(* Stop the previous trace (if any) *before* opening the new file: the
+   old order opened first, so restarting into the same path truncated the
+   file while the outgoing channel still held buffered events, and the
+   final flush-on-close then clobbered the fresh trace. *)
+let start path =
+  stop ();
+  start_channel (open_out path)
 
 let with_file path f =
   start path;
@@ -93,3 +107,15 @@ let round ~kind n =
       (match kind with `Work -> "work" | `Recover -> "recover")
 
 let note msg = if active () then emit {|{"ev":"note","msg":"%s"}|} (escape msg)
+
+(* ---- operation spans (emitted by Harness.Metrics) --------------------- *)
+
+let op_begin ~tid ~kind ~key ~clock =
+  if active () then
+    emit {|{"ev":"op_begin","tid":%d,"kind":"%s","key":%d,"clock":%.1f}|} tid
+      (escape kind) key clock
+
+let op_end ~tid ~ok ~cas_failures ~helped ~clock =
+  if active () then
+    emit {|{"ev":"op_end","tid":%d,"ok":%b,"cas_fail":%d,"helped":%b,"clock":%.1f}|}
+      tid ok cas_failures helped clock

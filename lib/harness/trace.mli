@@ -4,15 +4,21 @@
 
     - [{"ev":"sched","step":N,"tid":T,"clock":C}] — scheduling decision
     - [{"ev":"crash","step":N}] — system-wide crash boundary
-    - [{"ev":"read"|"write","tid":T,"line":L,"hit":B}] — memory access
-    - [{"ev":"cas","tid":T,"line":L,"ok":B}] — CAS outcome
-    - [{"ev":"pwb","tid":T,"site":S,"impact":"low"|"medium"|"high"}]
-    - [{"ev":"pfence"|"psync","tid":T,"site":S}]
+    - [{"ev":"read","tid":T,"line":L,"hit":B}] — memory read
+    - [{"ev":"write","tid":T,"line":L,"hit":B,"inv":I}] — memory write
+      ([inv] = other caches invalidated by the store)
+    - [{"ev":"cas","tid":T,"line":L,"ok":B,"inv":I,"clock":C}] — CAS outcome
+    - [{"ev":"pwb","tid":T,"site":S,"impact":"low"|"medium"|"high","clock":C}]
+    - [{"ev":"pfence"|"psync","tid":T,"site":S,"clock":C}]
     - [{"ev":"round","n":N,"kind":"work"|"recover"}] — campaign round
     - [{"ev":"note","msg":M}] — freeform harness marker
+    - [{"ev":"op_begin","tid":T,"kind":K,"key":N,"clock":C}] — operation span
+    - [{"ev":"op_end","tid":T,"ok":B,"cas_fail":N,"helped":B,"clock":C}]
 
-    Tracing off (the default) costs one ref read per instrumented
-    operation and allocates nothing. *)
+    [clock] is the emitting thread's virtual clock in ns; it restarts at 0
+    on every [Sim.run], so round boundaries re-base it (the Perfetto
+    converter accumulates offsets).  Tracing off (the default) costs one
+    ref read per instrumented operation and allocates nothing. *)
 
 val active : unit -> bool
 
@@ -32,3 +38,9 @@ val round : kind:[ `Work | `Recover ] -> int -> unit
 (** Campaign-round boundary (emitted by {!Crashes}); no-op when off. *)
 
 val note : string -> unit
+
+val op_begin : tid:int -> kind:string -> key:int -> clock:float -> unit
+(** Operation-span boundaries (emitted by {!Metrics}); no-ops when off. *)
+
+val op_end :
+  tid:int -> ok:bool -> cas_failures:int -> helped:bool -> clock:float -> unit

@@ -4,15 +4,32 @@ let max_threads = 62
 
 type trace_event =
   | Read of { tid : int; line : string; hit : bool }
-  | Write of { tid : int; line : string; hit : bool }
-  | Cas of { tid : int; line : string; success : bool }
+  | Write of { tid : int; line : string; hit : bool; invalidated : int }
+  | Cas of { tid : int; line : string; success : bool; invalidated : int }
   | Pwb of { tid : int; site : string; impact : Pstats.category }
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
 
-(* Observability hook (see Harness.Trace): events are constructed only
-   when a tracer is installed, so the disabled path is one ref read. *)
+(* Observability hooks (see Harness.Trace and Harness.Metrics): events are
+   constructed only when an observer is installed, so the disabled path is
+   a ref read per hook.  [tracer] serializes (event tracing); [collector]
+   aggregates (metrics); both may be active at once. *)
 let tracer : (trace_event -> unit) option ref = ref None
+let collector : (trace_event -> unit) option ref = ref None
+
+let observing () = !tracer != None || !collector != None
+
+let notify ev =
+  (match !tracer with None -> () | Some f -> f ev);
+  match !collector with None -> () | Some f -> f ev
+
+let popcount n =
+  let n = ref n and c = ref 0 in
+  while !n <> 0 do
+    n := !n land (!n - 1);
+    incr c
+  done;
+  !c
 
 (* ---- machine-global state -------------------------------------------- *)
 
@@ -139,9 +156,7 @@ let read fld =
   let c = Cost.current in
   let hit = line.sharers land bit tid <> 0 in
   line.sharers <- line.sharers lor bit tid;
-  (match !tracer with
-  | None -> ()
-  | Some f -> f (Read { tid; line = line.lname; hit }));
+  if observing () then notify (Read { tid; line = line.lname; hit });
   Sim.step (if hit then c.cache_hit else c.cache_miss);
   fld.v
 
@@ -156,10 +171,11 @@ let write fld v =
   let line = fld.line in
   let c = Cost.current in
   let exclusive = line.owner = tid && line.sharers = bit tid in
+  let others = line.sharers land lnot (bit tid) in
   take_ownership line tid;
-  (match !tracer with
-  | None -> ()
-  | Some f -> f (Write { tid; line = line.lname; hit = exclusive }));
+  if observing () then
+    notify
+      (Write { tid; line = line.lname; hit = exclusive; invalidated = popcount others });
   Sim.step (if exclusive then c.write_hit else c.write_miss);
   fld.v <- v
 
@@ -195,6 +211,7 @@ let cas fld expected desired =
     end
     else 0.
   in
+  let others = line.sharers land lnot (bit tid) in
   take_ownership line tid;
   if line.wb_owner >= 0 && line.wb_until <= now then begin
     line.wb_owner <- -1;
@@ -202,9 +219,9 @@ let cas fld expected desired =
   end;
   Sim.step (base +. Float.max line_stall drain_stall);
   let success = fld.v == expected in
-  (match !tracer with
-  | None -> ()
-  | Some f -> f (Cas { tid; line = line.lname; success }));
+  if observing () then
+    notify
+      (Cas { tid; line = line.lname; success; invalidated = popcount others });
   if success then begin
     fld.v <- desired;
     true
@@ -239,9 +256,7 @@ let pwb site line =
     let now = cur_now () in
     let impact = classify line tid now in
     Pstats.record site impact;
-    (match !tracer with
-    | None -> ()
-    | Some f -> f (Pwb { tid; site = Pstats.name site; impact }));
+    if observing () then notify (Pwb { tid; site = Pstats.name site; impact });
     (* Flushing a line that is dirty in another cache, or that already has
        an in-flight write-back from another thread, pays the ping-pong
        penalty the paper associates with high-impact pwbs. *)
@@ -285,9 +300,7 @@ let pfence site =
     let tid = cur_tid () in
     check_tid tid;
     Pstats.record_fence site;
-    (match !tracer with
-    | None -> ()
-    | Some f -> f (Pfence { tid; site = Pstats.name site }));
+    if observing () then notify (Pfence { tid; site = Pstats.name site });
     Queue.push Fence pending.(tid);
     Sim.step Cost.current.pfence_base
   end
@@ -297,9 +310,7 @@ let psync site =
     let tid = cur_tid () in
     check_tid tid;
     Pstats.record_fence site;
-    (match !tracer with
-    | None -> ()
-    | Some f -> f (Psync { tid; site = Pstats.name site }));
+    if observing () then notify (Psync { tid; site = Pstats.name site });
     let now = cur_now () in
     let stall = Float.max 0. (wb_deadline.(tid) -. now) in
     drain_queue tid;

@@ -30,9 +30,11 @@ val max_threads : int
 
 type trace_event =
   | Read of { tid : int; line : string; hit : bool }
-  | Write of { tid : int; line : string; hit : bool }
-      (** [hit] = the access stayed in this thread's cache (exclusive) *)
-  | Cas of { tid : int; line : string; success : bool }
+  | Write of { tid : int; line : string; hit : bool; invalidated : int }
+      (** [hit] = the access stayed in this thread's cache (exclusive);
+          [invalidated] = number of {e other} caches that held the line and
+          lost it to this store. *)
+  | Cas of { tid : int; line : string; success : bool; invalidated : int }
   | Pwb of { tid : int; site : string; impact : Pstats.category }
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
@@ -40,8 +42,14 @@ type trace_event =
 val tracer : (trace_event -> unit) option ref
 (** Observability hook (see [Harness.Trace]): when set, every memory
     access and persistence instruction is reported.  Events are only
-    constructed when a tracer is installed; the disabled path is a single
-    ref read per access. *)
+    constructed when an observer is installed; the disabled path is a
+    ref read per hook. *)
+
+val collector : (trace_event -> unit) option ref
+(** Second, independent observability hook (see [Harness.Metrics]).
+    [tracer] serializes events to a sink while [collector] aggregates
+    them; keeping them separate lets tracing and metrics run at once
+    without clobbering each other's installation. *)
 
 (** {1 Heaps} *)
 

@@ -183,8 +183,7 @@ let test_csv_rendering () =
     }
   in
   let csv = Report.figure_to_csv fig in
-  Alcotest.(check string) "csv"
-    "threads,a,b\n1,1.500000,0.250000\n2,2.500000,\n" csv
+  Alcotest.(check string) "csv" "threads,a,b\n1,1.500,0.250\n2,2.500,\n" csv
 
 let suite =
   [
