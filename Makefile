@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke clean figures
 
-check: build test explore-smoke metrics-smoke
+check: build test explore-smoke metrics-smoke causal-smoke
 
 build:
 	dune build
@@ -24,6 +24,13 @@ metrics-smoke:
 	  --keys 32 --seed 7 --perfetto _build/perfetto-smoke.json --validate
 	dune exec bin/repro.exe -- stats -a tracking -t 4 --ops 40 --crashes 2 \
 	  --keys 64 --seed 1
+
+# Causal profiler smoke: a tiny what-if sweep whose --check asserts the
+# paper's orderings — high-impact pwbs above low-impact per execution,
+# psync sensitivity near zero — and exercises the JSON/CSV exporters.
+causal-smoke:
+	dune exec bin/repro.exe -- causal --quick --check \
+	  --json _build/causal-smoke.json --csv _build/causal-smoke.csv
 
 clean:
 	dune clean

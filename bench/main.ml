@@ -315,7 +315,38 @@ let run_extras ~quick =
     [
       ("tracking", latency Set_intf.tracking);
       ("capsules-opt", latency Set_intf.capsules_opt);
-    ]
+    ];
+
+  (* Extension 7: causal what-if attribution — for each impact category,
+     the exact throughput sensitivity to its cost under the replayed
+     baseline schedule, plus the headroom with that cost at zero. *)
+  let causal_rows factory =
+    let cfg =
+      let base = Causal.quick_config factory Workload.update_intensive in
+      {
+        base with
+        Causal.sites = false;
+        mechanisms = [];
+        threads = (if quick then 8 else 16);
+        ops_per_thread = (if quick then 120 else 250);
+      }
+    in
+    let p = Causal.profile cfg in
+    List.filter_map
+      (fun (r : Causal.row) ->
+        match r.Causal.target with
+        | Causal.Category c ->
+            Some
+              ( Printf.sprintf "%s pwb[%s]" factory.Set_intf.fname
+                  (Format.asprintf "%a" Pstats.pp_category c),
+                [ r.Causal.sensitivity; 100. *. r.Causal.headroom ] )
+        | _ -> None)
+      p.Causal.rows
+  in
+  table
+    "[extension] causal sensitivity per pwb category, update-intensive \
+     (d(ns/op)/d(factor), headroom %)"
+    (causal_rows Set_intf.tracking @ causal_rows Set_intf.capsules_opt)
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -470,7 +470,14 @@ let stats_cmd =
       value & opt int 10
       & info [ "top" ] ~doc:"Contended cache lines to report.")
   in
-  let run algo mix threads ops crashes key_range seed top =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to $(docv) (\"-\" = stdout).")
+  in
+  let run algo mix threads ops crashes key_range seed top json =
     if algo.Set_intf.fname = "harris" && crashes > 0 then begin
       Format.printf "harris is volatile: it cannot recover from crashes@.";
       exit 1
@@ -482,10 +489,22 @@ let stats_cmd =
         ~finally:(fun () -> Metrics.disable ())
         (fun () ->
           let r = Crashes.run_once cfg ~seed in
-          Format.printf
-            "%s: %d threads × %d ops, mix %s, seed %d@.@."
-            algo.Set_intf.fname threads ops mix.Workload.name seed;
-          Report.pp_metrics ~top Format.std_formatter ();
+          (* --json - owns stdout: the human report would corrupt the
+             stream for anything piping the output into a JSON parser. *)
+          if json <> Some "-" then begin
+            Format.printf
+              "%s: %d threads × %d ops, mix %s, seed %d@.@."
+              algo.Set_intf.fname threads ops mix.Workload.name seed;
+            Report.pp_metrics ~top Format.std_formatter ()
+          end;
+          (match json with
+          | Some "-" -> print_endline (Report.metrics_json ~top ())
+          | Some p ->
+              Out_channel.with_open_text p (fun oc ->
+                  Out_channel.output_string oc (Report.metrics_json ~top ());
+                  Out_channel.output_char oc '\n');
+              Format.printf "@.wrote %s@." p
+          | None -> ());
           r)
     in
     match result with
@@ -502,7 +521,160 @@ let stats_cmd =
           lines, recovery durations.  Nothing is written to disk.")
     Term.(
       const run $ algo $ mix $ threads $ ops $ crashes $ key_range $ seed
-      $ top)
+      $ top $ json)
+
+(* -- causal --------------------------------------------------------------- *)
+
+let causal_cmd =
+  let threads =
+    Arg.(value & opt int 16 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 250
+      & info [ "ops" ] ~doc:"Operations per thread (fixed work, not time).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let factors =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 0.5; 2. ]
+      & info [ "factors" ] ~docv:"F,F,..."
+          ~doc:"Cost-scaling sweep besides the implicit 1x baseline.")
+  in
+  let no_sites =
+    Arg.(value & flag & info [ "no-sites" ] ~doc:"Skip per-site rows.")
+  in
+  let no_categories =
+    Arg.(
+      value & flag
+      & info [ "no-categories" ] ~doc:"Skip per-impact-category rows.")
+  in
+  let mechanisms =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "mechanisms" ] ~docv:"KNOB,..."
+          ~doc:
+            "Cost-table knobs to sweep (default: the persistence and \
+             contention set; \"none\" = skip mechanism rows).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the profile as JSON to $(docv) (\"-\" = stdout).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the attribution table as CSV to $(docv).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Smoke assertion: exit nonzero unless the profile reproduces \
+             the paper's ordering (high-impact pwbs above low-impact ones, \
+             psync sensitivity near zero).")
+  in
+  let run algo mix quick threads ops seed factors no_sites no_categories
+      mechanisms json csv check =
+    let base =
+      if quick then Causal.quick_config algo mix
+      else Causal.default_config algo mix
+    in
+    let cfg =
+      {
+        base with
+        Causal.threads = (if quick then base.Causal.threads else threads);
+        ops_per_thread =
+          (if quick then base.Causal.ops_per_thread else ops);
+        seed;
+        factors;
+        sites = not no_sites;
+        categories = not no_categories;
+        mechanisms =
+          (match mechanisms with
+          | Some [ "none" ] -> []
+          | Some ms -> ms
+          | None -> base.Causal.mechanisms);
+      }
+    in
+    let p = Causal.profile cfg in
+    (* --json - owns stdout; the table and "wrote" notices move aside. *)
+    let notice = if json = Some "-" then Format.eprintf else Format.printf in
+    if json <> Some "-" then Report.pp_causal Format.std_formatter p;
+    (match csv with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Causal.to_csv p));
+        notice "wrote %s@." path
+    | None -> ());
+    (match json with
+    | Some "-" -> print_endline (Causal.to_json p)
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Causal.to_json p);
+            Out_channel.output_char oc '\n');
+        Format.printf "wrote %s@." path
+    | None -> ());
+    if check then begin
+      (* The paper's ordering is per-instruction impact: one high-impact
+         pwb costs far more than one low-impact pwb, even though the low
+         ones dominate in count (and hence in aggregate sensitivity). *)
+      let sens_of t =
+        List.find_map
+          (fun (r : Causal.row) ->
+            if r.Causal.target = t && r.Causal.executions > 0 then
+              Some (r.Causal.sensitivity /. float_of_int r.Causal.executions)
+            else None)
+          p.Causal.rows
+      in
+      let high = sens_of (Causal.Category Pstats.High) in
+      let low = sens_of (Causal.Category Pstats.Low) in
+      let psync_ok =
+        (* psync sites must be (nearly) off the critical path: their
+           sensitivity should be a sliver of the baseline cost. *)
+        List.for_all
+          (fun (r : Causal.row) ->
+            r.Causal.group <> "psync"
+            || Float.abs r.Causal.sensitivity
+               < 0.05 *. p.Causal.baseline_ns_per_op)
+          p.Causal.rows
+      in
+      let ordering_ok =
+        match (high, low) with
+        | Some h, Some l -> h > l
+        | _ -> false
+      in
+      if ordering_ok && psync_ok then
+        notice
+          "@.check OK: high-impact above low-impact per execution, psyncs \
+           near zero@."
+      else begin
+        notice "@.CHECK FAILED:%s%s@."
+          (if ordering_ok then ""
+           else " high-impact per-execution sensitivity not above low-impact;")
+          (if psync_ok then "" else " a psync site has material sensitivity;");
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Causal what-if profile: rerun a fixed workload under the recorded \
+          baseline schedule with each pwb site / impact category / cost \
+          knob virtually scaled, and rank targets by throughput \
+          sensitivity.")
+    Term.(
+      const run $ algo $ mix $ quick $ threads $ ops $ seed $ factors
+      $ no_sites $ no_categories $ mechanisms $ json $ csv $ check)
 
 (* -- trace (Perfetto export) ---------------------------------------------- *)
 
@@ -656,4 +828,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
           [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
-            soak_cmd; classify_cmd; stats_cmd; trace_cmd ]))
+            soak_cmd; classify_cmd; stats_cmd; trace_cmd; causal_cmd ]))

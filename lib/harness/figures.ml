@@ -38,7 +38,20 @@ let cache : (string, meas) Hashtbl.t = Hashtbl.create 256
 
 let enable_all () = Pstats.set_all_enabled true
 
-let measure cfg factory ~threads mix ~variant ~prepare =
+(* An exception anywhere in a sweep (a raising [prepare], a [Step_limit]
+   watchdog, a user interrupt) must not leak disabled sites or scaled
+   multipliers into the next figure point — or worse, into the caller's
+   unrelated measurements.  [Causal.with_scaled] restores its own
+   scalings; this restores the ad-hoc [prepare] state. *)
+let with_clean_sites f =
+  Fun.protect
+    ~finally:(fun () ->
+      Pstats.set_all_enabled true;
+      Pstats.reset_cost_mults ();
+      Pstats.reset_category_mults ())
+    f
+
+let measure ?(scaled = []) cfg factory ~threads mix ~variant ~prepare =
   let key =
     Printf.sprintf "%s/%d/%s/%s/%d" factory.Set_intf.fname threads
       mix.Workload.name variant cfg.seeds
@@ -47,24 +60,25 @@ let measure cfg factory ~threads mix ~variant ~prepare =
   | Some m -> m
   | None ->
       let acc = ref { thr = 0.; pwbs = 0.; psyncs = 0. } in
-      for seed = 1 to cfg.seeds do
-        enable_all ();
-        let p =
-          Runner.measure ~duration_ns:cfg.duration_ns ~seed ~prepare factory
-            ~threads (Workload.default mix)
-        in
-        acc :=
-          {
-            thr = !acc.thr +. p.Runner.throughput_mops;
-            pwbs = !acc.pwbs +. p.Runner.pwbs_per_op;
-            psyncs = !acc.psyncs +. p.Runner.psyncs_per_op;
-          }
-      done;
+      with_clean_sites (fun () ->
+          for seed = 1 to cfg.seeds do
+            enable_all ();
+            let p =
+              Causal.with_scaled scaled (fun () ->
+                  Runner.measure ~duration_ns:cfg.duration_ns ~seed ~prepare
+                    factory ~threads (Workload.default mix))
+            in
+            acc :=
+              {
+                thr = !acc.thr +. p.Runner.throughput_mops;
+                pwbs = !acc.pwbs +. p.Runner.pwbs_per_op;
+                psyncs = !acc.psyncs +. p.Runner.psyncs_per_op;
+              }
+          done);
       let n = float_of_int cfg.seeds in
       let m =
         { thr = !acc.thr /. n; pwbs = !acc.pwbs /. n; psyncs = !acc.psyncs /. n }
       in
-      enable_all ();
       Hashtbl.replace cache key m;
       m
 
@@ -75,19 +89,20 @@ let full cfg factory ~threads mix =
 
 (* The pwb code lines an algorithm actually executes under this mix. *)
 let discover_sites cfg factory mix =
-  enable_all ();
-  Pstats.reset ();
-  ignore
-    (Runner.measure ~duration_ns:(cfg.duration_ns /. 4.) ~seed:7 factory
-       ~threads:4 (Workload.default mix)
-      : Runner.point);
-  List.filter
-    (fun s ->
-      Pstats.kind s = Pstats.Pwb
-      &&
-      let l, m, h = Pstats.site_counts s in
-      l + m + h > 0)
-    (Pstats.sites ())
+  with_clean_sites (fun () ->
+      enable_all ();
+      Pstats.reset ();
+      ignore
+        (Runner.measure ~duration_ns:(cfg.duration_ns /. 4.) ~seed:7 factory
+           ~threads:4 (Workload.default mix)
+          : Runner.point);
+      List.filter
+        (fun s ->
+          Pstats.kind s = Pstats.Pwb
+          &&
+          let l, m, h = Pstats.site_counts s in
+          l + m + h > 0)
+        (Pstats.sites ()))
 
 let classification_cache : (string, (Pstats.site * Pstats.category * float) list) Hashtbl.t =
   Hashtbl.create 16
@@ -98,34 +113,34 @@ let classify cfg mix factory =
   | Some c -> c
   | None ->
       let sites = discover_sites cfg factory mix in
-      let pfree () = Pstats.set_all_enabled false in
-      let t0 =
-        (measure cfg factory ~threads:cfg.classify_at mix ~variant:"pfree"
-           ~prepare:pfree)
-          .thr
-      in
       let classified =
-        List.map
-          (fun s ->
-            let prepare () =
-              Pstats.set_all_enabled false;
-              Pstats.set_enabled s true
-            in
-            let t =
+        with_clean_sites (fun () ->
+            let pfree () = Pstats.set_all_enabled false in
+            let t0 =
               (measure cfg factory ~threads:cfg.classify_at mix
-                 ~variant:("only:" ^ Pstats.name s) ~prepare)
+                 ~variant:"pfree" ~prepare:pfree)
                 .thr
             in
-            let impact = Float.max 0. ((t0 -. t) /. t0) in
-            let cat =
-              if impact <= 0.10 then Pstats.Low
-              else if impact <= 0.30 then Pstats.Medium
-              else Pstats.High
-            in
-            (s, cat, impact))
-          sites
+            List.map
+              (fun s ->
+                let prepare () =
+                  Pstats.set_all_enabled false;
+                  Pstats.set_enabled s true
+                in
+                let t =
+                  (measure cfg factory ~threads:cfg.classify_at mix
+                     ~variant:("only:" ^ Pstats.name s) ~prepare)
+                    .thr
+                in
+                let impact = Float.max 0. ((t0 -. t) /. t0) in
+                let cat =
+                  if impact <= 0.10 then Pstats.Low
+                  else if impact <= 0.30 then Pstats.Medium
+                  else Pstats.High
+                in
+                (s, cat, impact))
+              sites)
       in
-      enable_all ();
       Hashtbl.replace classification_cache key classified;
       classified
 
@@ -295,20 +310,30 @@ let fig_pwb_categories cfg mix =
     series;
   }
 
+(* Category ablations ride the causal engine: "removing" a category
+   scales the cost of its sites to zero ([Causal.with_scaled]) instead of
+   eliding the instructions.  The flushes still execute — durability
+   semantics, statistics and scheduling points are unchanged — they are
+   just virtually free, which is the what-if the paper's figures actually
+   ask ("what would throughput be if these flushes cost nothing?"). *)
+
+let zero_category cfg mix f cats =
+  List.concat_map
+    (fun cat ->
+      List.map
+        (fun s -> (Causal.Site (Pstats.name s), 0.))
+        (sites_of_category cfg mix f cat))
+    cats
+
+let zero_all_sites () =
+  List.map (fun s -> (Causal.Site (Pstats.name s), 0.)) (Pstats.sites ())
+
 (* Cumulative removal: full, −L, −LM, −LMH (the paper's combined-impact
    experiment; psync/pfence stay in place). *)
 let fig_category_removal cfg mix =
   let series =
     List.concat_map
       (fun f ->
-        let disable cats () =
-          List.iter
-            (fun cat ->
-              List.iter
-                (fun s -> Pstats.set_enabled s false)
-                (sites_of_category cfg mix f cat))
-            cats
-        in
         let curve label variant cats =
           {
             label = f.Set_intf.fname ^ label;
@@ -316,8 +341,10 @@ let fig_category_removal cfg mix =
               List.map
                 (fun n ->
                   ( n,
-                    (measure cfg f ~threads:n mix ~variant
-                       ~prepare:(disable cats))
+                    (measure
+                       ~scaled:(zero_category cfg mix f cats)
+                       cfg f ~threads:n mix ~variant
+                       ~prepare:(fun () -> ()))
                       .thr ))
                 cfg.sweep;
           }
@@ -328,9 +355,9 @@ let fig_category_removal cfg mix =
             values =
               List.map (fun n -> (n, (full cfg f ~threads:n mix).thr)) cfg.sweep;
           };
-          curve "[-L]" "rm:L" [ Pstats.Low ];
-          curve "[-LM]" "rm:LM" [ Pstats.Low; Pstats.Medium ];
-          curve "[-LMH]" "rm:LMH" [ Pstats.Low; Pstats.Medium; Pstats.High ];
+          curve "[-L]" "z:L" [ Pstats.Low ];
+          curve "[-LM]" "z:LM" [ Pstats.Low; Pstats.Medium ];
+          curve "[-LMH]" "z:LMH" [ Pstats.Low; Pstats.Medium; Pstats.High ];
         ])
       detectable_pair
   in
@@ -342,23 +369,29 @@ let fig_category_removal cfg mix =
     series;
   }
 
-(* Figures 5 / 6: persistence-free plus each category alone. *)
+(* Figures 5 / 6: persistence-free plus each category alone.  One line
+   per curve: everything at 0x cost, the kept category back at 1x (later
+   [with_scaled] entries override earlier ones for the same site). *)
 let fig_category_impact cfg mix factory =
-  let enable_only cats () =
-    Pstats.set_all_enabled false;
-    List.iter
-      (fun cat ->
-        List.iter
-          (fun s -> Pstats.set_enabled s true)
-          (sites_of_category cfg mix factory cat))
-      cats
+  let keep cats =
+    zero_all_sites ()
+    @ List.concat_map
+        (fun cat ->
+          List.map
+            (fun s -> (Causal.Site (Pstats.name s), 1.))
+            (sites_of_category cfg mix factory cat))
+        cats
   in
-  let curve label variant prepare =
+  let curve label variant scaled =
     {
       label;
       values =
         List.map
-          (fun n -> (n, (measure cfg factory ~threads:n mix ~variant ~prepare).thr))
+          (fun n ->
+            ( n,
+              (measure ~scaled cfg factory ~threads:n mix ~variant
+                 ~prepare:(fun () -> ()))
+                .thr ))
           cfg.sweep;
     }
   in
@@ -374,12 +407,11 @@ let fig_category_impact cfg mix factory =
     threads = cfg.sweep;
     series =
       [
-        curve "original" "full" (fun () -> ());
-        curve "persistence-free" "pfree" (fun () ->
-            Pstats.set_all_enabled false);
-        curve "pfree+L" "only:L" (enable_only [ Pstats.Low ]);
-        curve "pfree+M" "only:M" (enable_only [ Pstats.Medium ]);
-        curve "pfree+H" "only:H" (enable_only [ Pstats.High ]);
+        curve "original" "full" [];
+        curve "persistence-free" "z:all" (zero_all_sites ());
+        curve "pfree+L" "z:keep:L" (keep [ Pstats.Low ]);
+        curve "pfree+M" "z:keep:M" (keep [ Pstats.Medium ]);
+        curve "pfree+H" "z:keep:H" (keep [ Pstats.High ]);
       ];
   }
 

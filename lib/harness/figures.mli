@@ -17,6 +17,13 @@
     - 3f/4f — cumulative removal of pwb categories (full, −L, −LM, −LMH);
     - 5/6 — the X-caused performance loss per category for Tracking and
       Capsules-Opt: persistence-free plus each category alone;
+
+    The category ablations (3f/4f, 5/6) run on the causal engine
+    ({!Causal.with_scaled}): a "removed" category's sites execute with
+    their cost scaled to zero rather than being elided, so durability
+    semantics and instruction counts are those of the full algorithm and
+    only the virtual cost changes.  The classification itself (3e/4e)
+    keeps the paper's add-one-line-to-persistence-free methodology;
     - 7r/7u (beyond the paper) — per-operation latency p50/p99 from the
       metrics layer, against thread count.
 

@@ -104,6 +104,100 @@ let pp_metrics ?(top = 10) ppf () =
     Format.fprintf ppf "(span storage capped: %d spans dropped)@."
       (Metrics.spans_dropped ())
 
+let pp_causal ppf (p : Causal.profile) =
+  Format.fprintf ppf
+    "=== causal profile: %s, %s, %d threads × %d ops (seed %d) ===@." p.algo
+    p.mix p.threads p.ops_per_thread p.seed;
+  Format.fprintf ppf
+    "baseline: %.1f ns/op (%.3f Mops/s); persistence time %.0f ns@."
+    p.Causal.baseline_ns_per_op p.Causal.baseline_mops
+    p.Causal.persistence_time_ns;
+  Format.fprintf ppf "factors swept: %s@.@."
+    (String.concat ", "
+       (List.map (Printf.sprintf "%gx") p.Causal.factors));
+  Format.fprintf ppf "%4s %-10s %-26s %7s %6s %12s %10s %9s %4s@." "rank"
+    "group" "target" "execs" "time%" "sens ns/op" "sens/exec" "headroom" "div";
+  List.iteri
+    (fun i (r : Causal.row) ->
+      let pct v =
+        if Float.is_nan v then "-" else Printf.sprintf "%.1f" (100. *. v)
+      in
+      let per_exec =
+        if r.Causal.executions > 0 then
+          Printf.sprintf "%.4f"
+            (r.Causal.sensitivity /. float_of_int r.Causal.executions)
+        else "-"
+      in
+      Format.fprintf ppf "%4d %-10s %-26s %7d %6s %12.2f %10s %9s %4d@."
+        (i + 1) r.Causal.group r.Causal.label r.Causal.executions
+        (pct r.Causal.time_share) r.Causal.sensitivity per_exec
+        (pct r.Causal.headroom) r.Causal.divergences)
+    p.Causal.rows;
+  Format.fprintf ppf
+    "@.(sensitivity: d(ns/op)/d(cost factor) under the replayed baseline \
+     schedule; headroom: throughput gain with the target's cost at zero; \
+     div > 0 marks reruns whose schedule diverged from the tape)@."
+
+(* Shared with Causal.to_json in spirit; kept local because Report's JSON
+   is a different document (metrics, not attribution). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let metrics_json ?(top = 10) () =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  let fl v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v in
+  add "{\"histograms\":[";
+  List.iteri
+    (fun i (name, (s : Metrics.summary)) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\
+            \"p99\":%s,\"max\":%s}"
+           (json_escape name) s.Metrics.count (fl s.Metrics.mean)
+           (fl s.Metrics.p50) (fl s.Metrics.p90) (fl s.Metrics.p99)
+           (fl s.Metrics.max)))
+    (Metrics.histograms ());
+  add "],\"contention\":[";
+  List.iteri
+    (fun i (c : Metrics.contention) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"line\":\"%s\",\"cas_failures\":%d,\"invalidations\":%d}"
+           (json_escape c.Metrics.ct_line) c.Metrics.ct_cas_failures
+           c.Metrics.ct_invalidations))
+    (Metrics.contention_top top);
+  add "],\"recovery_rounds\":[";
+  List.iteri
+    (fun i (round, ns) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "{\"round\":%d,\"duration_ns\":%s}" round (fl ns)))
+    (Metrics.recovery_durations ());
+  add "],\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (Metrics.counters ());
+  add "},";
+  add (Printf.sprintf "\"spans_dropped\":%d}" (Metrics.spans_dropped ()));
+  Buffer.contents buf
+
 let figure_to_csv (f : Figures.figure) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "threads";

@@ -24,6 +24,17 @@ val pp_metrics : ?top:int -> Format.formatter -> unit -> unit
     and the counter registry — everything recorded since the last
     [Metrics.reset]. *)
 
+val pp_causal : Format.formatter -> Causal.profile -> unit
+(** The ranked attribution table behind [repro causal]: one row per
+    target (site / category / mechanism) with baseline executions, share
+    of persistence time, sensitivity d(ns/op)/d(factor), the
+    cost-at-zero headroom, and any schedule divergences. *)
+
+val metrics_json : ?top:int -> unit -> string
+(** The metrics report of {!pp_metrics} as a single JSON object
+    (histograms, top-[top] contended lines, recovery rounds, counters) —
+    the machine-readable output of [repro stats --json]. *)
+
 val figure_to_csv : Figures.figure -> string
 (** One CSV: a [threads] column followed by one column per series.
     Values use fixed [%.3f] formatting so output is byte-stable. *)

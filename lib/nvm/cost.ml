@@ -66,9 +66,66 @@ let assign dst src =
 
 let restore_defaults () = assign current (defaults ())
 
+let copy t = { t with cache_hit = t.cache_hit }
+
 let with_table tweak f =
-  let saved = { current with cache_hit = current.cache_hit } in
+  let saved = copy current in
   let table = defaults () in
   tweak table;
   assign current table;
   Fun.protect ~finally:(fun () -> assign current saved) f
+
+let with_tweaked tweak f =
+  let saved = copy current in
+  let table = copy current in
+  tweak table;
+  assign current table;
+  Fun.protect ~finally:(fun () -> assign current saved) f
+
+let is_default t =
+  let d = defaults () in
+  t.cache_hit = d.cache_hit && t.cache_miss = d.cache_miss
+  && t.write_hit = d.write_hit && t.write_miss = d.write_miss
+  && t.cas_base = d.cas_base && t.cas_contended = d.cas_contended
+  && t.pwb_issue = d.pwb_issue && t.pwb_accept = d.pwb_accept
+  && t.pwb_latency = d.pwb_latency && t.pwb_steal = d.pwb_steal
+  && t.pwb_shared = d.pwb_shared
+  && t.pwb_inflight_stall = d.pwb_inflight_stall
+  && t.pfence_base = d.pfence_base && t.psync_base = d.psync_base
+  && t.alloc = d.alloc && t.op_overhead = d.op_overhead
+  && t.cas_drains_wb = d.cas_drains_wb
+
+(* ---- mechanism knobs (causal profiler) -------------------------------- *)
+
+type knob_kind = Scalar | Flag
+
+(* Every ablatable mechanism of the model, as a named scale action: the
+   causal profiler sweeps [set table factor] over scaling factors.  For
+   [Flag] knobs only 0 (off) vs nonzero (on) is meaningful. *)
+let knobs =
+  [
+    ("cache_hit", Scalar, fun t f -> t.cache_hit <- t.cache_hit *. f);
+    ("cache_miss", Scalar, fun t f -> t.cache_miss <- t.cache_miss *. f);
+    ("write_hit", Scalar, fun t f -> t.write_hit <- t.write_hit *. f);
+    ("write_miss", Scalar, fun t f -> t.write_miss <- t.write_miss *. f);
+    ("cas_base", Scalar, fun t f -> t.cas_base <- t.cas_base *. f);
+    ( "cas_contended",
+      Scalar,
+      fun t f -> t.cas_contended <- t.cas_contended *. f );
+    ("pwb_issue", Scalar, fun t f -> t.pwb_issue <- t.pwb_issue *. f);
+    ("pwb_accept", Scalar, fun t f -> t.pwb_accept <- t.pwb_accept *. f);
+    ("pwb_latency", Scalar, fun t f -> t.pwb_latency <- t.pwb_latency *. f);
+    ("pwb_steal", Scalar, fun t f -> t.pwb_steal <- t.pwb_steal *. f);
+    ("pwb_shared", Scalar, fun t f -> t.pwb_shared <- t.pwb_shared *. f);
+    ( "pwb_inflight_stall",
+      Scalar,
+      fun t f -> t.pwb_inflight_stall <- t.pwb_inflight_stall *. f );
+    ("pfence_base", Scalar, fun t f -> t.pfence_base <- t.pfence_base *. f);
+    ("psync_base", Scalar, fun t f -> t.psync_base <- t.psync_base *. f);
+    ("alloc", Scalar, fun t f -> t.alloc <- t.alloc *. f);
+    ("op_overhead", Scalar, fun t f -> t.op_overhead <- t.op_overhead *. f);
+    ("cas_drains_wb", Flag, fun t f -> t.cas_drains_wb <- f > 0.);
+  ]
+
+let knob_names = List.map (fun (n, _, _) -> n) knobs
+let find_knob n = List.find_opt (fun (n', _, _) -> n = n') knobs

@@ -51,3 +51,29 @@ val restore_defaults : unit -> unit
 val with_table : (t -> unit) -> (unit -> 'a) -> 'a
 (** [with_table tweak f] applies [tweak] to a copy of the defaults,
     installs it, runs [f], and restores the previous table. *)
+
+val with_tweaked : (t -> unit) -> (unit -> 'a) -> 'a
+(** Like {!with_table} but [tweak] is applied to a copy of the
+    {e current} table rather than the defaults, so tweaks compose: the
+    causal profiler's mechanism sweeps must not silently reset an outer
+    ablation. *)
+
+val is_default : t -> bool
+(** Whether a table equals the calibrated defaults, field for field —
+    the leak check the sweep-hardening tests use. *)
+
+(** {1 Mechanism knobs}
+
+    Named scale actions over the table's fields, one per ablatable
+    mechanism, for the causal profiler's what-if sweeps. *)
+
+type knob_kind =
+  | Scalar  (** a virtual-ns cost: any scaling factor is meaningful *)
+  | Flag  (** a behaviour toggle: only 0 (off) vs nonzero (on) *)
+
+val knobs : (string * knob_kind * (t -> float -> unit)) list
+(** [(name, kind, scale)] per field; [scale table f] multiplies the field
+    by [f] (or sets the flag to [f > 0.]). *)
+
+val knob_names : string list
+val find_knob : string -> (string * knob_kind * (t -> float -> unit)) option

@@ -217,7 +217,13 @@ let cas fld expected desired =
     line.wb_owner <- -1;
     line.wb_until <- neg_infinity
   end;
-  Sim.step (base +. Float.max line_stall drain_stall);
+  (* Switch on the static instruction cost only: the stall part depends
+     on write-back deadlines, i.e. on the clocks, and letting it pick
+     switch points would make schedule placement drift whenever the
+     causal profiler scales a cost (a replayed tape would diverge).
+     With a static basis, switch placement is a pure function of the
+     instruction stream. *)
+  Sim.step_as ~switch:base (base +. Float.max line_stall drain_stall);
   let success = fld.v == expected in
   if observing () then
     notify
@@ -248,6 +254,14 @@ let classify line tid now =
   else if line.sharers land lnot (bit tid) <> 0 then Pstats.Medium
   else Pstats.Low
 
+(* The causal profiler's virtual-speedup hook: every persistence
+   instruction's charge is scaled by its site multiplier (pwbs also by
+   the emergent-category multiplier of this execution's impact class),
+   and the scheduling decision is taken on the {e static, unscaled} part
+   of the cost ([Sim.step_as]) so a recorded schedule replays without
+   divergence while costs are what-if scaled.  All multipliers default
+   to 1.0, in which case this is exactly the unscaled model. *)
+
 let pwb site line =
   if Pstats.enabled site then begin
     let tid = cur_tid () in
@@ -257,6 +271,7 @@ let pwb site line =
     let impact = classify line tid now in
     Pstats.record site impact;
     if observing () then notify (Pwb { tid; site = Pstats.name site; impact });
+    let m = Pstats.cost_mult site *. Pstats.category_mult impact in
     (* Flushing a line that is dirty in another cache, or that already has
        an in-flight write-back from another thread, pays the ping-pong
        penalty the paper associates with high-impact pwbs. *)
@@ -285,12 +300,18 @@ let pwb site line =
     end;
     Queue.push (Apply (fun () -> List.iter (fun f -> f ()) line.persists)) q;
     (* the line's media write-back completes late (contention stalls),
-       but the persistence point — acceptance — is much earlier *)
+       but the persistence point — acceptance — is much earlier.  Both
+       deadlines scale with the multiplier: a virtually-sped-up pwb also
+       stalls later fences/CASes proportionally less. *)
     line.wb_owner <- tid;
-    line.wb_until <- now +. c.pwb_latency;
-    let accepted = now +. c.pwb_accept in
+    line.wb_until <- now +. (m *. c.pwb_latency);
+    let accepted = now +. (m *. c.pwb_accept) in
     if accepted > wb_deadline.(tid) then wb_deadline.(tid) <- accepted;
-    Sim.step (c.pwb_issue +. stall)
+    let cost = c.pwb_issue +. stall in
+    Pstats.add_time site (m *. cost);
+    Pstats.add_category_time impact (m *. cost);
+    (* switch on the static issue cost: see the CAS path *)
+    Sim.step_as ~switch:c.pwb_issue (m *. cost)
   end
 
 let pwb_f site fld = pwb site fld.line
@@ -302,7 +323,10 @@ let pfence site =
     Pstats.record_fence site;
     if observing () then notify (Pfence { tid; site = Pstats.name site });
     Queue.push Fence pending.(tid);
-    Sim.step Cost.current.pfence_base
+    let m = Pstats.cost_mult site in
+    let cost = Cost.current.pfence_base in
+    Pstats.add_time site (m *. cost);
+    Sim.step_as ~switch:cost (m *. cost)
   end
 
 let psync site =
@@ -314,7 +338,11 @@ let psync site =
     let now = cur_now () in
     let stall = Float.max 0. (wb_deadline.(tid) -. now) in
     drain_queue tid;
-    Sim.step (Cost.current.psync_base +. stall)
+    let m = Pstats.cost_mult site in
+    let cost = Cost.current.psync_base +. stall in
+    Pstats.add_time site (m *. cost);
+    (* switch on the static base cost: see the CAS path *)
+    Sim.step_as ~switch:Cost.current.psync_base (m *. cost)
   end
 
 (* ---- crashes ----------------------------------------------------------- *)

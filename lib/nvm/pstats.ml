@@ -6,10 +6,12 @@ type site = {
   name : string;
   kind : kind;
   mutable enabled : bool;
+  mutable mult : float;  (* causal-profiler cost multiplier, default 1.0 *)
   mutable n_low : int;
   mutable n_medium : int;
   mutable n_high : int;
   mutable n_fence : int;
+  mutable t_ns : float;  (* virtual ns charged at this site since reset *)
 }
 
 let registry : (string, site) Hashtbl.t = Hashtbl.create 64
@@ -29,10 +31,12 @@ let make kind name =
           name;
           kind;
           enabled = true;
+          mult = 1.0;
           n_low = 0;
           n_medium = 0;
           n_high = 0;
           n_fence = 0;
+          t_ns = 0.;
         }
       in
       incr next_id;
@@ -49,6 +53,36 @@ let sites () = List.rev !ordered
 
 let set_all_enabled b = List.iter (fun s -> s.enabled <- b) (sites ())
 
+(* ---- causal-profiler cost multipliers --------------------------------- *)
+
+let cost_mult s = s.mult
+
+let set_cost_mult s m =
+  if m < 0. || Float.is_nan m then
+    invalid_arg (Printf.sprintf "Pstats.set_cost_mult %s: bad multiplier" s.name);
+  s.mult <- m
+
+let reset_cost_mults () = List.iter (fun s -> s.mult <- 1.0) (sites ())
+
+(* Emergent-category multipliers: applied to every executed pwb whose
+   impact class (computed per execution by the memory model) matches, on
+   top of the site multiplier. *)
+let cat_mult = [| 1.0; 1.0; 1.0 |]
+
+let cat_index = function Low -> 0 | Medium -> 1 | High -> 2
+
+let category_mult c = cat_mult.(cat_index c)
+
+let set_category_mult c m =
+  if m < 0. || Float.is_nan m then invalid_arg "Pstats.set_category_mult";
+  cat_mult.(cat_index c) <- m
+
+let reset_category_mults () = Array.fill cat_mult 0 3 1.0
+
+let all_multipliers_default () =
+  Array.for_all (fun m -> m = 1.0) cat_mult
+  && List.for_all (fun s -> s.mult = 1.0) (sites ())
+
 let set_kind_enabled k b =
   List.iter (fun s -> if s.kind = k then s.enabled <- b) (sites ())
 
@@ -59,6 +93,14 @@ let record s cat =
   | High -> s.n_high <- s.n_high + 1
 
 let record_fence s = s.n_fence <- s.n_fence + 1
+let add_time s ns = s.t_ns <- s.t_ns +. ns
+let site_time s = s.t_ns
+
+(* Per-category charged time (pwbs only), for the causal profiler's
+   category rows. *)
+let cat_time = [| 0.; 0.; 0. |]
+let add_category_time c ns = cat_time.(cat_index c) <- cat_time.(cat_index c) +. ns
+let category_time c = cat_time.(cat_index c)
 
 type totals = {
   pwbs : int;
@@ -93,9 +135,15 @@ let reset () =
       s.n_low <- 0;
       s.n_medium <- 0;
       s.n_high <- 0;
-      s.n_fence <- 0)
-    (sites ())
+      s.n_fence <- 0;
+      s.t_ns <- 0.)
+    (sites ());
+  Array.fill cat_time 0 3 0.
 
+(* Majority category with ties pinned toward the {e higher} impact class:
+   a site observed 50/50 medium/high counts as high.  The profiler must
+   not understate a site's worst observed behaviour, and an unspecified
+   tie-break would make figure points depend on count parity. *)
 let classify s =
   if s.kind <> Pwb then None
   else if s.n_low = 0 && s.n_medium = 0 && s.n_high = 0 then None
@@ -110,6 +158,7 @@ let set_category_enabled ~classification cat b =
     (sites ())
 
 let site_counts s = (s.n_low, s.n_medium, s.n_high)
+let site_fences s = s.n_fence
 
 let pp_category ppf = function
   | Low -> Format.pp_print_string ppf "low"

@@ -34,11 +34,54 @@ val set_category_enabled : classification:(site -> category option) -> category 
 (** Enable/disable all pwb sites whose classification matches, as in the
     category-removal experiments (Figs 3f/4f/5/6). *)
 
+val cost_mult : site -> float
+(** The site's causal-profiler cost multiplier (default [1.0]): {!Pmem}
+    multiplies everything the instruction would charge (and, for pwbs,
+    its acceptance/media deadlines) by this factor.  [0.] makes the
+    instruction virtually free while keeping its semantics — the
+    profiler's virtual-speedup knob, unlike {!set_enabled}[ false] which
+    removes the instruction (and its durability effect) entirely. *)
+
+val set_cost_mult : site -> float -> unit
+(** @raise Invalid_argument on negative or NaN multipliers. *)
+
+val reset_cost_mults : unit -> unit
+(** Restore every site's multiplier to [1.0]. *)
+
+val category_mult : category -> float
+(** Emergent-category multiplier (default [1.0]): applied by {!Pmem} to
+    every executed pwb whose per-execution impact class matches,
+    {e multiplied} with the site's own multiplier.  Lets the profiler
+    scale "all high-impact flushes, wherever they occur" without naming
+    sites. *)
+
+val set_category_mult : category -> float -> unit
+val reset_category_mults : unit -> unit
+
+val all_multipliers_default : unit -> bool
+(** [true] iff every site and category multiplier is [1.0] — the
+    leak-check used by tests and by sweep teardowns. *)
+
 val record : site -> category -> unit
 (** Count one executed pwb at [site] with its observed impact category. *)
 
 val record_fence : site -> unit
 (** Count one executed pfence or psync. *)
+
+val add_time : site -> float -> unit
+(** Account [ns] of charged virtual time to the site (called by {!Pmem}
+    with the actually-charged, i.e. multiplier-scaled, cost). *)
+
+val site_time : site -> float
+(** Virtual ns charged at this site since the last {!reset} — the
+    numerator of the causal profiler's "share of persistence time". *)
+
+val add_category_time : category -> float -> unit
+(** Account charged pwb time to its per-execution impact class. *)
+
+val category_time : category -> float
+(** Virtual ns charged to pwbs of this emergent impact class since the
+    last {!reset}. *)
 
 type totals = {
   pwbs : int;
@@ -50,16 +93,29 @@ type totals = {
 }
 
 val totals : unit -> totals
+
 val reset : unit -> unit
+(** Clear every site's execution counts and accounted time.  Enabled
+    flags and cost multipliers are {e configuration}, not statistics:
+    they survive [reset] (use {!set_all_enabled}/{!reset_cost_mults}/
+    {!reset_category_mults} to restore them). *)
 
 val classify : site -> category option
 (** Majority observed category of a pwb site since the last {!reset};
-    [None] if the site never executed or is not a pwb. *)
+    [None] if the site never executed or is not a pwb.  Ties are pinned
+    toward the {e higher} impact class (a 50/50 medium/high site counts
+    as high): the profiler must not understate a site's worst observed
+    behaviour, and an unspecified tie-break would make repeated figure
+    points depend on count parity. *)
 
 val sites : unit -> site list
 (** All registered sites, in registration order. *)
 
 val site_counts : site -> int * int * int
 (** Per-site (low, medium, high) execution counts since last {!reset}. *)
+
+val site_fences : site -> int
+(** Per-site pfence/psync execution count since last {!reset} (0 for
+    pwb sites). *)
 
 val pp_category : Format.formatter -> category -> unit

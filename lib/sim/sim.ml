@@ -68,6 +68,35 @@ type _ Effect.t += Yield : unit Effect.t
 
 let entry_lt (c1, s1, _) (c2, s2, _) = c1 < c2 || (c1 = c2 && s1 < s2)
 
+let sift_up e i =
+  let a = e.ready in
+  let i = ref i in
+  while !i > 0 && entry_lt a.(!i) a.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = a.(p) in
+    a.(p) <- a.(!i);
+    a.(!i) <- tmp;
+    i := p
+  done
+
+let sift_down e i =
+  let a = e.ready in
+  let i = ref i in
+  let continue_sift = ref true in
+  while !continue_sift do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < e.ready_len && entry_lt a.(l) a.(!m) then m := l;
+    if r < e.ready_len && entry_lt a.(r) a.(!m) then m := r;
+    if !m = !i then continue_sift := false
+    else begin
+      let tmp = a.(!m) in
+      a.(!m) <- a.(!i);
+      a.(!i) <- tmp;
+      i := !m
+    end
+  done
+
 let heap_push e entry =
   let n = e.ready_len in
   if n = Array.length e.ready then begin
@@ -77,43 +106,27 @@ let heap_push e entry =
   end;
   e.ready.(n) <- entry;
   e.ready_len <- n + 1;
-  if e.policy = `Perf then begin
-    let a = e.ready in
-    let i = ref n in
-    while !i > 0 && entry_lt a.(!i) a.((!i - 1) / 2) do
-      let p = (!i - 1) / 2 in
-      let tmp = a.(p) in
-      a.(p) <- a.(!i);
-      a.(!i) <- tmp;
-      i := p
-    done
-  end
+  if e.policy = `Perf then sift_up e n
 
-let heap_pop_min e =
+(* Remove the entry at ready index [i], preserving the heap invariant in
+   perf mode (replay can pull an arbitrary ready fiber, not just the
+   clock minimum). *)
+let remove_at e i =
   let a = e.ready in
   let n = e.ready_len in
-  assert (n > 0);
-  let top = a.(0) in
+  assert (n > 0 && i < n);
+  let entry = a.(i) in
   e.ready_len <- n - 1;
-  if n > 1 then begin
-    a.(0) <- a.(n - 1);
-    let i = ref 0 in
-    let continue_sift = ref true in
-    while !continue_sift do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let m = ref !i in
-      if l < e.ready_len && entry_lt a.(l) a.(!m) then m := l;
-      if r < e.ready_len && entry_lt a.(r) a.(!m) then m := r;
-      if !m = !i then continue_sift := false
-      else begin
-        let tmp = a.(!m) in
-        a.(!m) <- a.(!i);
-        a.(!i) <- tmp;
-        i := !m
-      end
-    done
+  if i < n - 1 then begin
+    a.(i) <- a.(n - 1);
+    if e.policy = `Perf then begin
+      sift_down e i;
+      sift_up e i
+    end
   end;
-  top
+  entry
+
+let heap_pop_min e = remove_at e 0
 
 let ready_index_of_tid e tid =
   let n = e.ready_len in
@@ -141,45 +154,42 @@ let ready_tids e =
   Array.sort compare tids;
   tids
 
+(* Consume the next replay-tape entry, if any: [Some i] is the ready
+   index of the recorded tid.  A recorded tid that is not ready is a
+   divergence: it is reported and the decision falls back to the active
+   policy — silently substituting a policy pick used to "replay" a
+   different execution while claiming success. *)
+let take_replay e =
+  if e.replay_pos >= Array.length e.replay then None
+  else begin
+    let want = e.replay.(e.replay_pos) in
+    e.replay_pos <- e.replay_pos + 1;
+    let i = ready_index_of_tid e want in
+    if i < 0 then begin
+      (match e.divergence with
+      | None -> ()
+      | Some f -> f ~step:e.steps ~want);
+      None
+    end
+    else Some i
+  end
+
 let pop_random e =
   let n = e.ready_len in
   assert (n > 0);
-  let replayed =
-    if e.replay_pos >= Array.length e.replay then -1
-    else begin
-      let want = e.replay.(e.replay_pos) in
-      e.replay_pos <- e.replay_pos + 1;
-      let i = ready_index_of_tid e want in
-      if i < 0 then begin
-        (* The recorded tid is not ready here: the replay has diverged
-           and every later pick is meaningless.  Report it — silently
-           substituting an rng pick used to "replay" a different
-           execution while claiming success. *)
-        match e.divergence with
-        | None -> ()
-        | Some f -> f ~step:e.steps ~want
-      end;
-      i
-    end
-  in
   let i =
-    if replayed >= 0 then replayed
-    else
-      match e.choose with
-      | Some f ->
-          let tid = f ~crashing:e.crashing (ready_tids e) in
-          let i = ready_index_of_tid e tid in
-          if i < 0 then
-            failwith
-              (Printf.sprintf "Sim: choose picked tid %d, which is not ready"
-                 tid)
-          else i
-      | None -> Random.State.int e.rng n
+    match e.choose with
+    | Some f ->
+        let tid = f ~crashing:e.crashing (ready_tids e) in
+        let i = ready_index_of_tid e tid in
+        if i < 0 then
+          failwith
+            (Printf.sprintf "Sim: choose picked tid %d, which is not ready"
+               tid)
+        else i
+    | None -> Random.State.int e.rng n
   in
-  let entry = e.ready.(i) in
-  e.ready.(i) <- e.ready.(n - 1);
-  e.ready_len <- n - 1;
-  entry
+  remove_at e i
 
 let enqueue e tid fiber =
   let slot =
@@ -200,7 +210,11 @@ let enqueue e tid fiber =
   heap_push e (e.clocks.(tid), e.seq, slot)
 
 let dequeue e =
-  let _, _, slot = if e.policy = `Perf then heap_pop_min e else pop_random e in
+  let _, _, slot =
+    match take_replay e with
+    | Some i -> remove_at e i
+    | None -> if e.policy = `Perf then heap_pop_min e else pop_random e
+  in
   match e.slots.(slot) with
   | None -> assert false
   | Some ((tid, _) as pair) ->
@@ -239,7 +253,14 @@ let advance cost =
 let yield_stride = 16
 let expensive_threshold = 10.0
 
-let step cost =
+(* [step_as ~switch cost] charges [cost] but takes the switch decision as
+   if the cost were [switch].  The causal profiler's virtual-speedup hook
+   (Harness.Causal) scales what a persistence instruction {e charges}
+   without moving where scheduling points fall: otherwise a 0×-scaled pwb
+   would stop yielding, every later decision would shift relative to the
+   recorded schedule, and the replayed run would silently be a different
+   interleaving. *)
+let step_as ~switch cost =
   match !current with
   | None -> ()
   | Some c ->
@@ -248,12 +269,15 @@ let step cost =
       let must_switch =
         match c.engine.policy with
         | `Random -> true
-        | `Perf -> cost >= expensive_threshold || c.since_yield >= yield_stride
+        | `Perf ->
+            switch >= expensive_threshold || c.since_yield >= yield_stride
       in
       if must_switch then begin
         c.since_yield <- 0;
         Effect.perform Yield
       end
+
+let step cost = step_as ~switch:cost cost
 
 let mark_crashing e =
   if not e.crashing then begin

@@ -65,13 +65,17 @@ val run :
     [crash_at] beyond that completes with [All_done].
 
     [record] is called with the chosen tid at every scheduling decision;
-    feeding the recorded sequence back as [schedule] replays a
-    [`Random]-policy run bit-for-bit.  A replay entry whose tid is not
-    ready at that decision is a {e divergence}: it is reported through
-    [divergence] (with the current step and the wanted tid) and the
-    decision falls back to [choose] or the seeded rng.  Any divergence
-    means the execution is no longer the recorded one — callers replaying
-    a failure must surface it rather than trust the outcome.
+    feeding the recorded sequence back as [schedule] replays the run
+    bit-for-bit under either policy: while tape entries remain, the
+    recorded tid is dispatched regardless of the policy's own preference
+    (under [`Perf] this overrides min-clock order, which is how the
+    causal profiler holds an interleaving fixed while virtual costs are
+    scaled).  A replay entry whose tid is not ready at that decision is a
+    {e divergence}: it is reported through [divergence] (with the current
+    step and the wanted tid) and the decision falls back to [choose], the
+    seeded rng, or the perf heap.  Any divergence means the execution is
+    no longer the recorded one — callers replaying a failure must surface
+    it rather than trust the outcome.
 
     [choose] delegates every decision past the replay tape to an external
     scheduling policy: it receives the ready tids in ascending order and
@@ -92,6 +96,14 @@ val step : float -> unit
 (** Charge [cost] virtual nanoseconds to the calling fiber and give the
     scheduler a switch point.  No-op outside a run (real executions pay
     real time instead). *)
+
+val step_as : switch:float -> float -> unit
+(** [step_as ~switch cost] charges [cost] but takes the scheduling/
+    batching decision as if the cost were [switch].  Used by the causal
+    profiler ({!Nvm.Pmem} charge path): scaling what an instruction
+    charges must not move where switch points fall, or a replayed
+    schedule would silently diverge.  [step cost = step_as ~switch:cost
+    cost]. *)
 
 val advance : float -> unit
 (** Charge [cost] virtual nanoseconds without offering a switch point.

@@ -14,6 +14,7 @@ let () =
       ("linearize", Test_linearize.suite);
       ("tracking-engine", Test_tracking.suite);
       ("harness", Test_harness.suite);
+      ("causal", Test_causal.suite);
       ("metrics", Test_metrics.suite);
       ("harris", Test_harris.suite);
       ("baselines", Test_baselines.suite);
