@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke
 
 build:
 	dune build
@@ -31,6 +31,16 @@ metrics-smoke:
 causal-smoke:
 	dune exec bin/repro.exe -- causal --quick --check \
 	  --json _build/causal-smoke.json --csv _build/causal-smoke.csv
+
+# Store service smoke: crash one shard of a live 4-shard serve; --check
+# asserts zero lost requests (oracle-verified per shard) and that the
+# surviving shards completed requests inside the recovery window.  The
+# second run sweeps every crash point of a tiny 2-shard store.
+serve-smoke:
+	dune exec bin/repro.exe -- serve --shards 4 --clients 4 --ops 100 \
+	  --crash-shard 2 --check
+	dune exec bin/repro.exe -- serve --shards 2 --clients 2 --ops 12 \
+	  --keys 16 --explore --dispatch-budget 48
 
 clean:
 	dune clean

@@ -346,7 +346,39 @@ let run_extras ~quick =
   table
     "[extension] causal sensitivity per pwb category, update-intensive \
      (d(ns/op)/d(factor), headroom %)"
-    (causal_rows Set_intf.tracking @ causal_rows Set_intf.capsules_opt)
+    (causal_rows Set_intf.tracking @ causal_rows Set_intf.capsules_opt);
+
+  (* Extension 8: the sharded store service (Store) — throughput scaling
+     with shard count at a fixed client population.  Each shard is an
+     independent recoverable structure on its own heap, so adding shards
+     splits both the contention and the persistence traffic. *)
+  let shard_sweep = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let store_clients = if quick then 4 else 8 in
+  let store_rate factory shards =
+    let cfg =
+      {
+        (Store.default_config factory) with
+        Store.shards;
+        clients = store_clients;
+        ops_per_client = (if quick then 100 else 250);
+        workload = { ui with Workload.key_range = 256; prefill_n = 128 };
+      }
+    in
+    match Store.run cfg with
+    | Ok r -> r.Slo.throughput_mops
+    | Error msg -> failwith ("store bench: " ^ msg)
+  in
+  table
+    (Printf.sprintf
+       "[extension] store service: closed-loop throughput vs shard count \
+        (%d clients; shards %s; Mops/s)"
+       store_clients
+       (String.concat "," (List.map string_of_int shard_sweep)))
+    [
+      ("tracking shards", List.map (store_rate Set_intf.tracking) shard_sweep);
+      ( "capsules-opt shards",
+        List.map (store_rate Set_intf.capsules_opt) shard_sweep );
+    ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -6,13 +6,8 @@ open Cmdliner
 let algo_conv =
   let parse s =
     match Set_intf.by_name s with
-    | Some f -> Ok f
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown algorithm %S (try: %s)" s
-               (String.concat ", "
-                  (List.map (fun f -> f.Set_intf.fname) Set_intf.all))))
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf f = Format.pp_print_string ppf f.Set_intf.fname in
   Arg.conv (parse, print)
@@ -787,6 +782,301 @@ let trace_cmd =
       const run $ algo $ mix $ threads $ ops $ crashes $ key_range $ seed
       $ from $ jsonl $ perfetto $ validate)
 
+(* -- serve (sharded store service) ----------------------------------------- *)
+
+let wb_conv =
+  let parse = function
+    | "rng" -> Ok `Rng
+    | "drop" -> Ok `Drop
+    | "all" -> Ok `All
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "prefix" -> (
+            match
+              int_of_string_opt
+                (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Some k when k >= 1 -> Ok (`Prefix k)
+            | _ -> Error (`Msg "expected rng | drop | all | prefix:<k>"))
+        | _ -> Error (`Msg "expected rng | drop | all | prefix:<k>"))
+  in
+  let print ppf wb = Format.pp_print_string ppf (Store.wb_label wb) in
+  Arg.conv (parse, print)
+
+let serve_replay file =
+  match Store_repro.load file with
+  | Error msg ->
+      Format.printf "cannot load %s: %s@." file msg;
+      exit 2
+  | Ok r -> (
+      Format.printf "%a" Store_repro.pp r;
+      match Store_repro.replay r with
+      | Error msg when String.equal msg r.Store_repro.error ->
+          Format.printf "reproduced: %s@." msg
+      | Error msg ->
+          Format.printf "reproduced a DIFFERENT failure: %s@." msg;
+          Format.printf "(recorded: %s)@." r.Store_repro.error;
+          exit 1
+      | Ok () ->
+          Format.printf "did NOT reproduce — the replay passed@.";
+          exit 1)
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Number of shards.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client fibers.")
+  in
+  let ops =
+    Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Requests per client.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ]
+          ~doc:"Max requests a server drains per mailbox activation.")
+  in
+  let key_range =
+    Arg.(value & opt int 128 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let skew =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Skewed keys: fraction $(docv) of requests target the hottest \
+             20% of keys (0.2 = uniform, 0.8 = classic hot set).")
+  in
+  let open_loop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"NS"
+          ~doc:
+            "Open-loop clients with mean interarrival $(docv) virtual ns \
+             (Poisson); default is closed-loop.")
+  in
+  let crash_shard =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-shard" ] ~docv:"SID"
+          ~doc:"Crash shard $(docv) mid-traffic and recover it live.")
+  in
+  let crash_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Inject the crash once $(docv) requests completed store-wide \
+             (default: a third of the total).")
+  in
+  let wb =
+    Arg.(
+      value & opt wb_conv `Rng
+      & info [ "wb" ] ~docv:"RES"
+          ~doc:
+            "Write-back resolution at the crash: rng | drop | all | \
+             prefix:<k>.")
+  in
+  let restart_ns =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "restart-ns" ]
+          ~doc:"Virtual restart latency charged before shard recovery.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Run seed.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the SLO report as JSON to $(docv) (\"-\" = stdout).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Smoke assertion: exit nonzero unless zero requests were lost \
+             and (with a crash planned) survivors kept completing requests \
+             inside the recovery window.")
+  in
+  let repro_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:"On failure, save a replayable serve repro to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a saved serve repro instead of running.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL event trace of the serve to $(docv).")
+  in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "explore" ]
+          ~doc:
+            "Bounded exhaustive crash-point sweep instead of one run: every \
+             victim shard x server dispatch index x deterministic \
+             write-back resolution (keep the config small).")
+  in
+  let dispatch_budget =
+    Arg.(
+      value & opt int 64
+      & info [ "dispatch-budget" ]
+          ~doc:"Crash-point depth per victim explored by --explore.")
+  in
+  let run algo mix shards clients ops batch key_range skew open_loop
+      crash_shard crash_after wb restart_ns seed json check repro_file replay
+      trace explore dispatch_budget =
+    match replay with
+    | Some f -> serve_replay f
+    | None -> (
+        if
+          algo.Set_intf.fname = "harris"
+          && (crash_shard <> None || explore)
+        then begin
+          Format.printf "harris is volatile: it cannot recover from crashes@.";
+          exit 1
+        end;
+        let dist =
+          match skew with
+          | None -> Workload.Uniform
+          | Some s -> (
+              try Workload.skewed s
+              with Invalid_argument msg ->
+                Format.printf "bad --skew: %s@." msg;
+                exit 2)
+        in
+        let total = clients * ops in
+        let crash =
+          match crash_shard with
+          | None -> None
+          | Some victim ->
+              let requests =
+                match crash_after with Some n -> n | None -> max 1 (total / 3)
+              in
+              Some (Store.After_requests { victim; requests })
+        in
+        let cfg =
+          {
+            Store.factory = algo;
+            shards;
+            clients;
+            ops_per_client = ops;
+            batch;
+            workload =
+              {
+                Workload.mix;
+                key_range;
+                prefill_n = key_range / 2;
+                dist;
+              };
+            open_loop_ns = open_loop;
+            crash;
+            wb;
+            restart_ns;
+            seed;
+          }
+        in
+        if explore then begin
+          let go () = Store.explore ~dispatch_budget cfg in
+          match (match trace with
+                 | Some p -> Trace.with_file p go
+                 | None -> go ())
+          with
+          | Error msg ->
+              Format.printf "explore failed: %s@." msg;
+              exit 2
+          | Ok st ->
+              Format.printf
+                "store explore: %d executions, %d crashes fired, %d failures@."
+                st.Store.ex_executions st.Store.ex_fired st.Store.ex_failures;
+              Array.iteri
+                (fun sid d ->
+                  Format.printf
+                    "  shard %d: crash points explored through dispatch %d@."
+                    sid d)
+                st.Store.ex_max_dispatch;
+              match st.Store.ex_first_failure with
+              | None -> ()
+              | Some msg ->
+                  Format.printf "DETECTABILITY VIOLATION — %s@." msg;
+                  (match (repro_file, st.Store.ex_first_cex) with
+                  | Some p, Some (cex, sched, bare) ->
+                      Store_repro.save p
+                        (Store_repro.of_config cex ~error:bare ~schedule:sched);
+                      Format.printf "serve repro saved to %s@." p
+                  | _ -> ());
+                  exit 1
+        end
+        else begin
+          let sched = ref [] in
+          let record c = sched := c :: !sched in
+          let go () = Store.run ~record cfg in
+          let result =
+            match trace with Some p -> Trace.with_file p go | None -> go ()
+          in
+          match result with
+          | Error msg ->
+              Format.printf "DETECTABILITY VIOLATION — %s@." msg;
+              (match repro_file with
+              | Some p ->
+                  Store_repro.save p
+                    (Store_repro.of_config cfg ~error:msg
+                       ~schedule:(Array.of_list (List.rev !sched)));
+                  Format.printf "serve repro saved to %s@." p
+              | None -> ());
+              exit 1
+          | Ok report ->
+              (* --json - owns stdout for pipelines *)
+              if json <> Some "-" then Format.printf "%a" Slo.pp report;
+              (match json with
+              | Some "-" -> print_endline (Slo.to_json report)
+              | Some p ->
+                  Out_channel.with_open_text p (fun oc ->
+                      Out_channel.output_string oc (Slo.to_json report);
+                      Out_channel.output_char oc '\n');
+                  Format.printf "wrote %s@." p
+              | None -> ());
+              if check then begin
+                match Slo.check ~crash_expected:(crash <> None) report with
+                | Ok () -> Format.printf "check OK@."
+                | Error msg ->
+                    Format.printf "CHECK FAILED: %s@." msg;
+                    exit 1
+              end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive the sharded recoverable KV service: client fibers \
+          (closed- or open-loop) routed over N independently recoverable \
+          shards, optionally crashing one shard mid-traffic and recovering \
+          it while the survivors keep serving; reports throughput, latency \
+          quantiles, per-shard recovery durations and the degraded window.")
+    Term.(
+      const run $ algo $ mix $ shards $ clients $ ops $ batch $ key_range
+      $ skew $ open_loop $ crash_shard $ crash_after $ wb $ restart_ns $ seed
+      $ json $ check $ repro_file $ replay $ trace $ explore
+      $ dispatch_budget)
+
 (* -- classify ------------------------------------------------------------- *)
 
 let classify_cmd =
@@ -828,4 +1118,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
           [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
-            soak_cmd; classify_cmd; stats_cmd; trace_cmd; causal_cmd ]))
+            soak_cmd; classify_cmd; stats_cmd; trace_cmd; causal_cmd;
+            serve_cmd ]))

@@ -44,8 +44,8 @@ let repro_of cfg ~seed ~error ~rounds =
 
 let config_of (r : Repro.t) =
   match Set_intf.by_name r.algo with
-  | None -> Error (Printf.sprintf "repro references unknown algorithm %S" r.algo)
-  | Some factory -> (
+  | Error msg -> Error (Printf.sprintf "repro references %s" msg)
+  | Ok factory -> (
       match Workload.mix_of_find_pct r.find_pct with
       | exception Invalid_argument _ ->
           Error (Printf.sprintf "repro has invalid find-pct %d" r.find_pct)
@@ -60,6 +60,7 @@ let config_of (r : Repro.t) =
                   Workload.mix;
                   key_range = r.key_range;
                   prefill_n = r.prefill;
+                  dist = Workload.Uniform;
                 };
               max_crashes = r.max_crashes;
             })

@@ -268,5 +268,12 @@ let all =
     tracking_broken;
   ]
 
+let names () = List.map (fun f -> f.fname) all
+
 let by_name n =
-  List.find_opt (fun f -> String.equal f.fname n) all
+  match List.find_opt (fun f -> String.equal f.fname n) all with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S; valid names: %s" n
+           (String.concat ", " (names ())))

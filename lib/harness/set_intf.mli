@@ -53,4 +53,9 @@ val redo : factory
 val harris_volatile : factory
 
 val all : factory list
-val by_name : string -> factory option
+val names : unit -> string list
+
+val by_name : string -> (factory, string) result
+(** Look up a factory by [fname].  The error message of an unknown name
+    lists every valid name, so CLI/repro callers can surface it
+    verbatim. *)

@@ -31,27 +31,6 @@ let popcount n =
   done;
   !c
 
-(* ---- machine-global state -------------------------------------------- *)
-
-type wb_entry =
-  | Apply of (unit -> unit)  (* complete this write-back *)
-  | Fence
-
-(* Per-thread queues of outstanding write-backs (the store buffer /
-   write-pending queue).  Global, like real hardware: one per CPU, not
-   per allocation region. *)
-let pending : wb_entry Queue.t array =
-  Array.init max_threads (fun _ -> Queue.create ())
-
-(* Latest acceptance deadline among a thread's outstanding write-backs:
-   with ADR, acceptance by the write-pending queue is the persistence
-   point, so fences and draining CASes wait for acceptance only. *)
-let wb_deadline : float array = Array.make max_threads neg_infinity
-
-let reset_pending () =
-  Array.iter Queue.clear pending;
-  Array.fill wb_deadline 0 max_threads neg_infinity
-
 let cur_tid () = if Sim.in_sim () then Sim.tid () else 0
 let cur_now () = if Sim.in_sim () then Sim.now () else 0.
 
@@ -68,6 +47,30 @@ type heap = {
   mutable metas : (unit -> unit) list;  (* clear cache metadata on crash *)
   mutable n_lines : int;
 }
+
+(* ---- machine-global state -------------------------------------------- *)
+
+type wb_entry =
+  | Apply of heap * (unit -> unit)
+      (* complete this write-back; tagged with the owning heap so a
+         heap-scoped crash ({!crash} [~scope:`Heap]) can resolve only
+         the victim's entries *)
+  | Fence
+
+(* Per-thread queues of outstanding write-backs (the store buffer /
+   write-pending queue).  Global, like real hardware: one per CPU, not
+   per allocation region. *)
+let pending : wb_entry Queue.t array =
+  Array.init max_threads (fun _ -> Queue.create ())
+
+(* Latest acceptance deadline among a thread's outstanding write-backs:
+   with ADR, acceptance by the write-pending queue is the persistence
+   point, so fences and draining CASes wait for acceptance only. *)
+let wb_deadline : float array = Array.make max_threads neg_infinity
+
+let reset_pending () =
+  Array.iter Queue.clear pending;
+  Array.fill wb_deadline 0 max_threads neg_infinity
 
 type line = {
   lheap : heap;
@@ -183,7 +186,7 @@ let write fld v =
 let drain_queue tid =
   let q = pending.(tid) in
   while not (Queue.is_empty q) do
-    match Queue.pop q with Apply f -> f () | Fence -> ()
+    match Queue.pop q with Apply (_, f) -> f () | Fence -> ()
   done;
   wb_deadline.(tid) <- neg_infinity
 
@@ -293,12 +296,14 @@ let pwb site line =
     if Queue.length q > 64 then begin
       let rec complete_oldest () =
         match Queue.pop q with
-        | Apply f -> f ()
+        | Apply (_, f) -> f ()
         | Fence -> if not (Queue.is_empty q) then complete_oldest ()
       in
       complete_oldest ()
     end;
-    Queue.push (Apply (fun () -> List.iter (fun f -> f ()) line.persists)) q;
+    Queue.push
+      (Apply (line.lheap, fun () -> List.iter (fun f -> f ()) line.persists))
+      q;
     (* the line's media write-back completes late (contention stalls),
        but the persistence point — acceptance — is much earlier.  Both
        deadlines scale with the multiplier: a virtually-sped-up pwb also
@@ -366,7 +371,7 @@ let resolve_queue_at_crash rng q =
             match !mode with
             | `Full -> mode := fresh_mode ()
             | `Partial | `Drop -> mode := `Drop)
-        | Apply f -> (
+        | Apply (_, f) -> (
             match !mode with
             | `Full -> f ()
             | `Partial -> if Random.State.bool rng then f ()
@@ -382,21 +387,93 @@ let resolve_queue_deterministic choice q =
   match choice with
   | `Drop -> Queue.clear q
   | `All ->
-      Queue.iter (function Apply f -> f () | Fence -> ()) q;
+      Queue.iter (function Apply (_, f) -> f () | Fence -> ()) q;
       Queue.clear q
   | `Prefix k ->
       let applied = ref 0 in
       while not (Queue.is_empty q) do
         match Queue.pop q with
         | Fence -> ()
-        | Apply f -> if !applied < k then begin f (); incr applied end
+        | Apply (_, f) -> if !applied < k then begin f (); incr applied end
       done
 
-let crash ?rng ?resolution h =
-  (match resolution with
-  | Some choice -> Array.iter (resolve_queue_deterministic choice) pending
-  | None -> Array.iter (resolve_queue_at_crash rng) pending);
-  Array.fill wb_deadline 0 max_threads neg_infinity;
+(* Heap-scoped resolution: walk a thread's queue once, resolving only the
+   victim heap's write-backs through [on_victim] and preserving every
+   other entry — fences included — in issue order.  Fences survive (they
+   still order the remaining entries, which belong to live structures)
+   but they also advance the victim resolver's segment state: fence
+   ordering is a per-thread property, not a per-heap one, so a victim
+   write-back issued after a fence may only persist if the fence's
+   predecessors did. *)
+let resolve_queue_scoped h on_victim q =
+  let keep = Queue.create () in
+  while not (Queue.is_empty q) do
+    match Queue.pop q with
+    | Apply (hp, f) when hp == h -> on_victim (`Apply f)
+    | Fence as e ->
+        on_victim `Fence;
+        Queue.push e keep
+    | Apply _ as e -> Queue.push e keep
+  done;
+  Queue.transfer keep q
+
+(* Per-queue resolver closures mirroring the machine-wide resolvers'
+   semantics on the victim-entry subsequence. *)
+let victim_resolver_rng rng =
+  match rng with
+  | None -> fun _ -> ()
+  | Some rng ->
+      let fresh_mode () =
+        if Random.State.bool rng then `Full
+        else if Random.State.bool rng then `Partial
+        else `Drop
+      in
+      let mode = ref (fresh_mode ()) in
+      fun ev ->
+        match ev with
+        | `Fence -> (
+            match !mode with
+            | `Full -> mode := fresh_mode ()
+            | `Partial | `Drop -> mode := `Drop)
+        | `Apply f -> (
+            match !mode with
+            | `Full -> f ()
+            | `Partial -> if Random.State.bool rng then f ()
+            | `Drop -> ())
+
+let victim_resolver_deterministic choice =
+  match choice with
+  | `Drop -> fun _ -> ()
+  | `All -> ( function `Apply f -> f () | `Fence -> ())
+  | `Prefix k ->
+      let applied = ref 0 in
+      fun ev ->
+        match ev with
+        | `Fence -> ()
+        | `Apply f -> if !applied < k then begin f (); incr applied end
+
+let crash ?rng ?resolution ?(scope = `Machine) h =
+  (match scope with
+  | `Machine ->
+      (match resolution with
+      | Some choice -> Array.iter (resolve_queue_deterministic choice) pending
+      | None -> Array.iter (resolve_queue_at_crash rng) pending);
+      Array.fill wb_deadline 0 max_threads neg_infinity
+  | `Heap ->
+      (* Survivors' pending write-backs are untouched, so their
+         acceptance deadlines stay meaningful: leave [wb_deadline]
+         alone.  Keeping a (now possibly stale) deadline for a thread
+         whose victim entries were resolved only makes its next fence
+         conservatively slower, never incorrect. *)
+      Array.iter
+        (fun q ->
+          let on_victim =
+            match resolution with
+            | Some choice -> victim_resolver_deterministic choice
+            | None -> victim_resolver_rng rng
+          in
+          resolve_queue_scoped h on_victim q)
+        pending);
   List.iter (fun f -> f ()) h.resets;
   List.iter (fun f -> f ()) h.metas
 
@@ -414,7 +491,9 @@ let is_poisoned fld = fld.poisoned
 
 let outstanding_writebacks tid =
   check_tid tid;
-  Queue.fold (fun n e -> match e with Apply _ -> n + 1 | Fence -> n) 0 pending.(tid)
+  Queue.fold
+    (fun n e -> match e with Apply _ -> n + 1 | Fence -> n)
+    0 pending.(tid)
 
 let max_outstanding_writebacks () =
   let m = ref 0 in

@@ -64,14 +64,15 @@ val heap : ?track_for_crash:bool -> ?name:string -> unit -> heap
 val crash :
   ?rng:Random.State.t ->
   ?resolution:[ `Drop | `All | `Prefix of int ] ->
+  ?scope:[ `Machine | `Heap ] ->
   heap ->
   unit
-(** System-wide crash: outstanding write-backs of {e all} threads are
-    resolved — with [rng], each pfence-delimited segment may complete
-    fully, partially (a random subset, in issue order) or not at all,
-    respecting fence ordering; without [rng], all outstanding write-backs
-    are dropped (the harshest adversary).  Then every tracked field of
-    [heap] reverts to its persisted value or becomes poisoned, and all
+(** Crash affecting [heap]: outstanding write-backs are resolved — with
+    [rng], each pfence-delimited segment may complete fully, partially
+    (a random subset, in issue order) or not at all, respecting fence
+    ordering; without [rng], all outstanding write-backs are dropped
+    (the harshest adversary).  Then every tracked field of [heap]
+    reverts to its persisted value or becomes poisoned, and [heap]'s
     cache metadata is cleared.
 
     [resolution] overrides the rng with a {e deterministic, replayable}
@@ -80,7 +81,20 @@ val crash :
     everything, [`Prefix k] completes each thread's [k] oldest
     write-backs in issue order — a prefix always respects fence ordering,
     so every choice is a legal NVM state.  No rng draw is consumed when
-    [resolution] is given. *)
+    [resolution] is given.
+
+    [scope] (default [`Machine]) selects which write-backs the crash
+    resolves.  [`Machine] is the whole-system crash described above:
+    every thread's full queue is resolved and all acceptance deadlines
+    reset.  [`Heap] models a shard-local failure (power domain per
+    region, or a process owning one region dying): only write-backs of
+    [heap]'s own lines are resolved — [`Prefix k] counts the victim's
+    write-backs, per thread — while every other entry, fences included,
+    survives in issue order and other heaps' pending persistence is
+    untouched.  Fences still delimit the victim's in-order segments,
+    since fence ordering is per thread, not per heap.  The field
+    reset/poison step is identical in both scopes (it is already
+    per-heap). *)
 
 val lines_allocated : heap -> int
 

@@ -51,6 +51,14 @@ type engine = {
      run is only draining doomed fibers, whose order is semantically
      inert. *)
   choose : (crashing:bool -> int array -> int) option;
+  (* Per-fiber fault injection: an exception delivered to one fiber at
+     its next resumption, leaving every other fiber running — the
+     primitive behind shard-local crashes (Harness.Store).  [pending_intr]
+     is armed by [interrupt]; [intr_sched] holds the static at-dispatch
+     schedule of [run ?interrupts], sorted by dispatch index. *)
+  pending_intr : exn option array;
+  intr_sched : (int * exn) list array;
+  dispatch_counts : int array;
 }
 
 type ctx = {
@@ -241,6 +249,36 @@ let now () =
 let random_state () = (ctx_exn ()).engine.rng
 let steps_executed () = match !current with Some c -> c.engine.steps | None -> 0
 
+let interrupt ~tid exn =
+  let c = ctx_exn () in
+  let e = c.engine in
+  if tid < 0 || tid >= Array.length e.pending_intr then
+    invalid_arg (Printf.sprintf "Sim.interrupt: tid %d out of range" tid);
+  if tid = c.ctid then raise exn;
+  e.pending_intr.(tid) <- Some exn
+
+let dispatches ~tid =
+  let c = ctx_exn () in
+  let e = c.engine in
+  if tid < 0 || tid >= Array.length e.dispatch_counts then
+    invalid_arg (Printf.sprintf "Sim.dispatches: tid %d out of range" tid);
+  e.dispatch_counts.(tid)
+
+(* The interrupt due for fiber [tid] at this dispatch, if any: an armed
+   [interrupt] fires first, then the head of the static at-dispatch
+   schedule once the fiber's dispatch count has reached it. *)
+let due_interrupt e tid =
+  match e.pending_intr.(tid) with
+  | Some exn ->
+      e.pending_intr.(tid) <- None;
+      Some exn
+  | None -> (
+      match e.intr_sched.(tid) with
+      | (at, exn) :: rest when e.dispatch_counts.(tid) >= at ->
+          e.intr_sched.(tid) <- rest;
+          Some exn
+      | _ -> None)
+
 let advance cost =
   match !current with
   | None -> ()
@@ -295,9 +333,19 @@ let request_crash () =
 (* ---- the driver ------------------------------------------------------ *)
 
 let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
-    ?(schedule = [||]) ?record ?divergence ?choose bodies =
+    ?(schedule = [||]) ?record ?divergence ?choose ?(interrupts = [||]) bodies =
   if in_sim () then failwith "Sim.run: nested runs are not supported";
   let n = Array.length bodies in
+  let intr_sched = Array.make (max n 1) [] in
+  Array.iter
+    (fun (tid, at, exn) ->
+      if tid < 0 || tid >= n then
+        invalid_arg (Printf.sprintf "Sim.run: interrupt tid %d out of range" tid);
+      if at < 1 then
+        invalid_arg "Sim.run: interrupt dispatch indices are 1-based";
+      intr_sched.(tid) <-
+        List.sort (fun (a, _) (b, _) -> compare a b) ((at, exn) :: intr_sched.(tid)))
+    interrupts;
   let e =
     {
       policy;
@@ -318,6 +366,9 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       record;
       divergence;
       choose;
+      pending_intr = Array.make (max n 1) None;
+      intr_sched;
+      dispatch_counts = Array.make (max n 1) 0;
     }
   in
   let contexts =
@@ -388,9 +439,18 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
         | None -> ()
         | Some f ->
             f (Sched { step = e.steps; tid = i; clock = e.clocks.(i) }));
+        e.dispatch_counts.(i) <- e.dispatch_counts.(i) + 1;
+        (* Fault injection is delivered at a resumption only: a Thunk has
+           not installed its handlers yet, so an exception raised into it
+           would escape the whole run instead of reaching the fiber's own
+           recovery path.  A due interrupt stays armed until the fiber
+           next suspends. *)
         (match fiber with
         | Thunk f -> ignore (f () : status)
-        | Cont k -> ignore (Effect.Deep.continue k () : status));
+        | Cont k -> (
+            match due_interrupt e i with
+            | Some exn -> ignore (Effect.Deep.discontinue k exn : status)
+            | None -> ignore (Effect.Deep.continue k () : status)));
         current := None;
         loop ()
       end

@@ -48,6 +48,7 @@ val run :
   ?record:(int -> unit) ->
   ?divergence:(step:int -> want:int -> unit) ->
   ?choose:(crashing:bool -> int array -> int) ->
+  ?interrupts:(int * int * exn) array ->
   (int -> unit) array ->
   outcome
 (** [run bodies] executes [bodies.(i) i] as logical thread [i] until all
@@ -81,7 +82,14 @@ val run :
     scheduling policy: it receives the ready tids in ascending order and
     must return one of them ([~crashing:true] marks post-crash drain
     decisions, whose order is semantically inert).  Used by the
-    exploration harness to enumerate schedules deterministically. *)
+    exploration harness to enumerate schedules deterministically.
+
+    [interrupts] is a static per-fiber fault schedule: each entry
+    [(tid, at, exn)] (with [at >= 1], 1-based) arms [exn] for delivery at
+    fiber [tid]'s [at]-th dispatch — see {!interrupt} for the delivery
+    contract.  Entries whose dispatch index is never reached simply do
+    not fire.  Used by the store-exploration harness to enumerate
+    shard-crash points by dispatch index. *)
 
 val in_sim : unit -> bool
 (** Whether the caller is executing inside a simulated fiber. *)
@@ -122,3 +130,26 @@ val random_state : unit -> Random.State.t
 val steps_executed : unit -> int
 (** Global steps executed so far in the current run (0 outside a run).
     Useful for choosing crash points in campaigns. *)
+
+val interrupt : tid:int -> exn -> unit
+(** [interrupt ~tid exn] arms a per-fiber fault: unlike
+    {!request_crash}, only fiber [tid] is affected — every other fiber
+    keeps running, which is the primitive behind shard-local crashes
+    ({!Harness}'s store service).
+
+    Delivery contract: the exception is raised inside fiber [tid] at its
+    next {e resumption} (the dispatch following a suspension in {!step}),
+    where the fiber's own exception handlers are live, so a shard server
+    can catch it and run recovery in place.  A fiber that never suspends
+    again, or has already finished, never observes the interrupt.
+    Interrupting the calling fiber itself raises [exn] immediately.
+    @raise Invalid_argument if [tid] is out of range.
+    @raise Failure outside a run. *)
+
+val dispatches : tid:int -> int
+(** Number of times fiber [tid] has been dispatched so far in the current
+    run.  Pairs with [run ?interrupts] to enumerate per-fiber crash
+    points: a crash-free run's final count bounds the meaningful
+    1-based dispatch indices for that fiber.
+    @raise Invalid_argument if [tid] is out of range.
+    @raise Failure outside a run. *)

@@ -1,0 +1,22 @@
+(* Deterministic key-to-shard routing.
+
+   A SplitMix64-style finalizer scrambles the key before the modulo so
+   that contiguous key ranges (and the power-law hot set of
+   [Workload.Skewed], whose hottest keys are the lowest indices) spread
+   across shards instead of piling onto shard 0.  Stateless and
+   allocation-free, so routing is bit-identical across runs, replays and
+   processes — a recorded serve schedule stays meaningful. *)
+
+let mix k =
+  let open Int64 in
+  let z = mul (of_int k) 0x9E3779B97F4A7C15L in
+  let z = logxor z (shift_right_logical z 30) in
+  let z = mul z 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  let z = mul z 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFL)
+
+let route ~shards k =
+  if shards <= 0 then invalid_arg "Router.route: shards must be positive";
+  mix k mod shards

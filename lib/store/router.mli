@@ -1,0 +1,11 @@
+(** Deterministic key-to-shard routing for the sharded store.
+
+    Keys are scrambled with a SplitMix64-style finalizer before the
+    modulo, so contiguous ranges — and skewed workloads' hot set, whose
+    hottest keys are the lowest indices — spread across shards.  The
+    function is pure: the same key maps to the same shard in every run,
+    replay and process. *)
+
+val route : shards:int -> int -> int
+(** [route ~shards k] is the shard index in [\[0, shards)] owning key
+    [k].  @raise Invalid_argument if [shards <= 0]. *)

@@ -1,0 +1,165 @@
+(* One shard of the store: an independent recoverable structure instance
+   on its own persistent heap, served by a dedicated fiber that drains a
+   volatile mailbox.
+
+   Crash model: a shard-local failure is injected by delivering {!Crash}
+   to the server fiber ([Sim.interrupt]), which unwinds whatever request
+   it was executing mid-flight.  The server catches it in place and runs
+   the recovery protocol itself — no other fiber is disturbed, which is
+   the whole point of shard isolation:
+
+   1. count the queued (volatile) mailbox entries as retried backlog —
+      they were never started, so serving them later is their first and
+      only execution;
+   2. [Pmem.crash ~scope:`Heap]: resolve only this shard's outstanding
+      write-backs and reset its fields, leaving the survivors' pending
+      persistence untouched;
+   3. charge [restart_ns] of virtual restart latency (process respawn,
+      heap re-mapping) — this is what makes the degraded window
+      measurable;
+   4. [recover_structure] (Romulus restore / Redo log replay; no-op for
+      the lock-free algorithms), then detectable recovery of the
+      in-flight request: [recover op] returns its definite outcome, so
+      the request completes exactly-once instead of being lost.
+
+   A nested [Crash] during recovery restarts the recovery; that is safe
+   because detectable recovery is idempotent (the paper's recover
+   semantics) and the in-flight request is only marked complete after
+   its definite outcome is known. *)
+
+exception Crash
+
+type state = Pending | Done of { ok : bool; done_ns : float; recovered : bool }
+
+type request = {
+  rid : int;
+  rsid : int;
+  op : Set_intf.op;
+  submit_ns : float;
+  mutable retried : bool;
+  mutable state : state;
+}
+
+type t = {
+  sid : int;
+  server_tid : int;
+  heap : Pmem.heap;
+  algo : Set_intf.t;
+  mailbox : request Queue.t;
+  queue_gauge : Metrics.gauge;
+  mutable inflight : request option;
+  mutable initial : int list;
+  mutable events : Oracle.event list;  (* newest first *)
+  mutable served : int;
+  mutable crashes : int;
+  mutable retried : int;
+  mutable recovered : int;
+  mutable max_queue : int;
+  mutable recoveries : (float * float) list;  (* (crash_ns, end_ns), newest first *)
+  mutable dispatches : int;  (* server-fiber dispatch count, set at exit *)
+}
+
+let create factory ~threads ~server_tid sid =
+  let heap =
+    Pmem.heap
+      ~name:(Printf.sprintf "%s-shard%d" factory.Set_intf.fname sid)
+      ()
+  in
+  let algo = factory.Set_intf.make heap ~threads in
+  {
+    sid;
+    server_tid;
+    heap;
+    algo;
+    mailbox = Queue.create ();
+    queue_gauge = Metrics.gauge (Printf.sprintf "store.shard%d.queue_depth" sid);
+    inflight = None;
+    initial = [];
+    events = [];
+    served = 0;
+    crashes = 0;
+    retried = 0;
+    recovered = 0;
+    max_queue = 0;
+    recoveries = [];
+    dispatches = 0;
+  }
+
+let submit t req =
+  Queue.push req t.mailbox;
+  let depth = Queue.length t.mailbox in
+  if depth > t.max_queue then t.max_queue <- depth;
+  Metrics.set_gauge t.queue_gauge (float_of_int depth)
+
+let serve t ~batch ~activation_ns ~poll_ns ~restart_ns ~wb ~live ~on_complete =
+  let complete req ~ok ~recovered =
+    req.state <- Done { ok; done_ns = Sim.now (); recovered };
+    t.served <- t.served + 1;
+    t.events <- { Oracle.eop = req.op; ok } :: t.events;
+    on_complete req ~ok ~recovered
+  in
+  let drain_batch () =
+    (* one activation (mailbox wakeup) amortized over up to [batch]
+       requests, the way the paper amortizes fences over operations *)
+    Sim.step activation_ns;
+    let n = ref 0 in
+    while !n < batch && not (Queue.is_empty t.mailbox) do
+      let req = Queue.pop t.mailbox in
+      Metrics.set_gauge t.queue_gauge (float_of_int (Queue.length t.mailbox));
+      t.inflight <- Some req;
+      Metrics.op_begin
+        ~kind:(Metrics.kind_of_op req.op)
+        ~key:(Set_intf.op_key req.op);
+      let ok = Set_intf.apply t.algo req.op in
+      Metrics.op_end ~ok;
+      t.inflight <- None;
+      complete req ~ok ~recovered:false;
+      incr n
+    done
+  in
+  let recover_crash () =
+    t.crashes <- t.crashes + 1;
+    let crash_ns = Sim.now () in
+    Trace.note
+      (Printf.sprintf "shard %d crash (inflight=%b backlog=%d)" t.sid
+         (t.inflight <> None)
+         (Queue.length t.mailbox));
+    Queue.iter
+      (fun (r : request) ->
+        if not r.retried then begin
+          r.retried <- true;
+          t.retried <- t.retried + 1
+        end)
+      t.mailbox;
+    (match wb with
+    | `Rng -> Pmem.crash ~rng:(Sim.random_state ()) ~scope:`Heap t.heap
+    | (`Drop | `All | `Prefix _) as resolution ->
+        Pmem.crash ~resolution ~scope:`Heap t.heap);
+    Sim.step restart_ns;
+    t.algo.Set_intf.recover_structure ();
+    (match t.inflight with
+    | Some req ->
+        Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key req.op);
+        let ok = t.algo.Set_intf.recover req.op in
+        Metrics.op_end ~ok;
+        t.inflight <- None;
+        t.recovered <- t.recovered + 1;
+        complete req ~ok ~recovered:true
+    | None -> ());
+    t.recoveries <- (crash_ns, Sim.now ()) :: t.recoveries;
+    Trace.note
+      (Printf.sprintf "shard %d recovered in %.0f virtual ns" t.sid
+         (Sim.now () -. crash_ns))
+  in
+  let rec recover_safe () = try recover_crash () with Crash -> recover_safe () in
+  let rec loop () =
+    match
+      if Queue.is_empty t.mailbox then Sim.step poll_ns else drain_batch ()
+    with
+    | () -> if live () then loop ()
+    | exception Crash ->
+        recover_safe ();
+        loop ()
+  in
+  loop ();
+  t.dispatches <- Sim.dispatches ~tid:t.server_tid

@@ -1,0 +1,76 @@
+(** One shard of the store: an independent recoverable structure
+    instance on its own persistent heap, served by a dedicated fiber
+    draining a volatile mailbox.
+
+    Crash protocol (see the implementation header for the full
+    narrative): {!Crash} is delivered to the server fiber via
+    [Sim.interrupt], unwinding the in-flight request; the server catches
+    it in place, resolves only its own heap's write-backs
+    ([Pmem.crash ~scope:`Heap]), pays a restart latency, repairs the
+    structure ([recover_structure]) and resolves the interrupted request
+    to a definite outcome with detectable recovery ([recover op]) — so
+    every request ends exactly-once or as clean retried backlog, never
+    lost.  Other shards' fibers and pending persistence are untouched. *)
+
+exception Crash
+(** Delivered to a server fiber to crash its shard. *)
+
+type state = Pending | Done of { ok : bool; done_ns : float; recovered : bool }
+
+type request = {
+  rid : int;
+  rsid : int;  (** owning shard *)
+  op : Set_intf.op;
+  submit_ns : float;  (** client clock at submission *)
+  mutable retried : bool;  (** was in a crashed shard's backlog *)
+  mutable state : state;
+}
+
+type t = {
+  sid : int;
+  server_tid : int;
+  heap : Pmem.heap;
+  algo : Set_intf.t;
+  mailbox : request Queue.t;
+  queue_gauge : Metrics.gauge;
+  mutable inflight : request option;
+  mutable initial : int list;  (** contents after prefill (oracle input) *)
+  mutable events : Oracle.event list;  (** completed requests, newest first *)
+  mutable served : int;
+  mutable crashes : int;
+  mutable retried : int;
+  mutable recovered : int;
+  mutable max_queue : int;
+  mutable recoveries : (float * float) list;
+      (** (crash_ns, recovery_end_ns), newest first *)
+  mutable dispatches : int;
+      (** server-fiber dispatch count, recorded at server exit — bounds
+          the meaningful crash points of {!Store.explore} *)
+}
+
+val create : Set_intf.factory -> threads:int -> server_tid:int -> int -> t
+(** [create factory ~threads ~server_tid sid]: fresh heap named
+    ["<algo>-shard<sid>"] plus a structure instance on it.  [threads]
+    must cover every fiber tid of the run (descriptor slots are indexed
+    by [Sim.tid]). *)
+
+val submit : t -> request -> unit
+(** Enqueue into the volatile mailbox (client side); updates the queue
+    gauge and high-water mark. *)
+
+val serve :
+  t ->
+  batch:int ->
+  activation_ns:float ->
+  poll_ns:float ->
+  restart_ns:float ->
+  wb:[ `Rng | `Drop | `All | `Prefix of int ] ->
+  live:(unit -> bool) ->
+  on_complete:(request -> ok:bool -> recovered:bool -> unit) ->
+  unit
+(** Server-fiber body: drain up to [batch] requests per activation
+    (amortizing the [activation_ns] wakeup cost), idle-polling every
+    [poll_ns] while the mailbox is empty and [live ()] holds.  Catches
+    {!Crash} and runs the shard recovery protocol with write-back
+    resolution [wb] and restart latency [restart_ns].  [on_complete]
+    fires for every resolved request, including recovered ones. *)

@@ -1,0 +1,240 @@
+(* Service-level reporting for a serve run: request-latency quantiles,
+   throughput, per-shard recovery durations and queue depths, and the
+   degraded-window analysis around a shard crash.
+
+   Latency is [done_ns - submit_ns] across two per-fiber virtual clocks
+   (client submits, server completes).  Under the `Perf policy the
+   scheduler keeps clocks closely aligned (min-clock dispatch), so the
+   skew is bounded by one scheduling quantum; differences are clamped at
+   zero.  Quantiles here are computed exactly from the raw samples
+   (nearest-rank), independent of the log-bucketed Metrics histograms. *)
+
+type shard_stat = {
+  ss_sid : int;
+  ss_served : int;
+  ss_crashes : int;
+  ss_retried : int;
+  ss_recovered : int;
+  ss_max_queue : int;
+  ss_recovery_ns : float list;  (* per crash, oldest first *)
+}
+
+type degraded = {
+  dg_victim : int;
+  dg_window_ns : float;  (* total virtual time spent crashed+recovering *)
+  dg_survivor_completions : int;
+  dg_survivor_mops : float;
+}
+
+type report = {
+  total_requests : int;
+  completed : int;
+  lost : int;
+  retried : int;
+  recovered : int;
+  makespan_ns : float;
+  throughput_mops : float;
+  lat_mean_ns : float;
+  lat_p50_ns : float;
+  lat_p90_ns : float;
+  lat_p99_ns : float;
+  degraded : degraded option;
+  shards : shard_stat list;
+  divergences : int;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let latency (req : Shard.request) =
+  match req.Shard.state with
+  | Shard.Pending -> None
+  | Shard.Done { done_ns; _ } ->
+      Some (Float.max 0. (done_ns -. req.Shard.submit_ns))
+
+let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
+    =
+  let completed = ref 0 and lost = ref 0 in
+  let first_submit = ref infinity and last_done = ref 0. in
+  let lats = ref [] in
+  List.iter
+    (fun (r : Shard.request) ->
+      if r.Shard.submit_ns < !first_submit then first_submit := r.Shard.submit_ns;
+      match r.Shard.state with
+      | Shard.Pending -> incr lost
+      | Shard.Done { done_ns; _ } ->
+          incr completed;
+          if done_ns > !last_done then last_done := done_ns;
+          lats := Float.max 0. (done_ns -. r.Shard.submit_ns) :: !lats)
+    requests;
+  let lats = Array.of_list !lats in
+  Array.sort compare lats;
+  let mean =
+    if Array.length lats = 0 then 0.
+    else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+  in
+  let makespan =
+    if !completed = 0 then 0. else Float.max 1. (!last_done -. !first_submit)
+  in
+  let stats =
+    Array.to_list
+      (Array.map
+         (fun (s : Shard.t) ->
+           {
+             ss_sid = s.Shard.sid;
+             ss_served = s.Shard.served;
+             ss_crashes = s.Shard.crashes;
+             ss_retried = s.Shard.retried;
+             ss_recovered = s.Shard.recovered;
+             ss_max_queue = s.Shard.max_queue;
+             ss_recovery_ns =
+               List.rev_map (fun (t0, t1) -> t1 -. t0) s.Shard.recoveries;
+           })
+         shards)
+  in
+  let degraded =
+    match crash_victim with
+    | None -> None
+    | Some victim when victim < 0 || victim >= Array.length shards -> None
+    | Some victim ->
+        let windows = shards.(victim).Shard.recoveries in
+        if windows = [] then None
+        else begin
+          let window_ns =
+            List.fold_left (fun acc (t0, t1) -> acc +. (t1 -. t0)) 0. windows
+          in
+          let in_window ns =
+            List.exists (fun (t0, t1) -> ns >= t0 && ns <= t1) windows
+          in
+          let survivors =
+            List.fold_left
+              (fun acc (r : Shard.request) ->
+                match r.Shard.state with
+                | Shard.Done { done_ns; _ }
+                  when r.Shard.rsid <> victim && in_window done_ns ->
+                    acc + 1
+                | _ -> acc)
+              0 requests
+          in
+          Some
+            {
+              dg_victim = victim;
+              dg_window_ns = window_ns;
+              dg_survivor_completions = survivors;
+              dg_survivor_mops =
+                (if window_ns <= 0. then 0.
+                 else float_of_int survivors /. window_ns *. 1000.);
+            }
+        end
+  in
+  {
+    total_requests = total;
+    completed = !completed;
+    lost = !lost;
+    retried =
+      Array.fold_left (fun acc s -> acc + s.Shard.retried) 0 shards;
+    recovered =
+      Array.fold_left (fun acc s -> acc + s.Shard.recovered) 0 shards;
+    makespan_ns = makespan;
+    throughput_mops =
+      (if makespan <= 0. then 0.
+       else float_of_int !completed /. makespan *. 1000.);
+    lat_mean_ns = mean;
+    lat_p50_ns = quantile lats 0.50;
+    lat_p90_ns = quantile lats 0.90;
+    lat_p99_ns = quantile lats 0.99;
+    degraded;
+    shards = stats;
+    divergences;
+  }
+
+(* The service-level acceptance gate for `repro serve --check`:
+   detectability at the request level means nothing may be lost and —
+   when a crash was planned — the victim really crashed, recovery took
+   measurable time, and the survivors kept completing requests inside
+   the degraded window. *)
+let check ~crash_expected r =
+  if r.lost > 0 then
+    Error (Printf.sprintf "lost requests: %d never resolved" r.lost)
+  else if r.completed <> r.total_requests then
+    Error
+      (Printf.sprintf "lost requests: completed %d of %d" r.completed
+         r.total_requests)
+  else if crash_expected then
+    match r.degraded with
+    | None -> Error "lost crash: the planned shard crash never fired"
+    | Some d ->
+        if d.dg_window_ns <= 0. then
+          Error "lost crash: recovery window has zero duration"
+        else if d.dg_survivor_completions = 0 then
+          Error
+            "degraded throughput: no survivor completions during recovery"
+        else Ok ()
+  else Ok ()
+
+let pp ppf r =
+  Format.fprintf ppf
+    "requests %d  completed %d  lost %d  retried %d  recovered %d@."
+    r.total_requests r.completed r.lost r.retried r.recovered;
+  Format.fprintf ppf
+    "makespan %.0f ns  throughput %.3f Mops/s  latency mean %.0f  p50 %.0f  \
+     p90 %.0f  p99 %.0f ns@."
+    r.makespan_ns r.throughput_mops r.lat_mean_ns r.lat_p50_ns r.lat_p90_ns
+    r.lat_p99_ns;
+  (match r.degraded with
+  | None -> ()
+  | Some d ->
+      Format.fprintf ppf
+        "degraded window: shard %d down %.0f ns; survivors completed %d \
+         requests (%.3f Mops/s)@."
+        d.dg_victim d.dg_window_ns d.dg_survivor_completions d.dg_survivor_mops);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  shard %d: served %d  crashes %d  retried %d  recovered %d  \
+         max-queue %d%s@."
+        s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
+        s.ss_max_queue
+        (match s.ss_recovery_ns with
+        | [] -> ""
+        | ds ->
+            "  recovery " ^ String.concat "+"
+              (List.map (fun d -> Printf.sprintf "%.0fns" d) ds)))
+    r.shards;
+  if r.divergences > 0 then
+    Format.fprintf ppf "  WARNING: %d schedule divergences@." r.divergences
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  f "{";
+  f "\"total_requests\":%d,\"completed\":%d,\"lost\":%d," r.total_requests
+    r.completed r.lost;
+  f "\"retried\":%d,\"recovered\":%d," r.retried r.recovered;
+  f "\"makespan_ns\":%.1f,\"throughput_mops\":%.6f," r.makespan_ns
+    r.throughput_mops;
+  f "\"latency_ns\":{\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f},"
+    r.lat_mean_ns r.lat_p50_ns r.lat_p90_ns r.lat_p99_ns;
+  (match r.degraded with
+  | None -> f "\"degraded\":null,"
+  | Some d ->
+      f
+        "\"degraded\":{\"victim\":%d,\"window_ns\":%.1f,\"survivor_completions\":%d,\"survivor_mops\":%.6f},"
+        d.dg_victim d.dg_window_ns d.dg_survivor_completions d.dg_survivor_mops);
+  f "\"shards\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then f ",";
+      f
+        "{\"sid\":%d,\"served\":%d,\"crashes\":%d,\"retried\":%d,\"recovered\":%d,\"max_queue\":%d,\"recovery_ns\":[%s]}"
+        s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
+        s.ss_max_queue
+        (String.concat ","
+           (List.map (fun d -> Printf.sprintf "%.1f" d) s.ss_recovery_ns)))
+    r.shards;
+  f "],\"divergences\":%d}" r.divergences;
+  Buffer.contents b

@@ -1,0 +1,65 @@
+(** Service-level reporting for serve runs: latency quantiles,
+    throughput, per-shard recovery durations and the degraded-window
+    analysis around a shard crash.
+
+    Latency spans two per-fiber virtual clocks (client submit, server
+    completion); under the `Perf policy the min-clock scheduler keeps
+    them aligned to within one scheduling quantum, and differences are
+    clamped at zero.  Quantiles are exact nearest-rank over the raw
+    samples, independent of the log-bucketed [Metrics] histograms. *)
+
+type shard_stat = {
+  ss_sid : int;
+  ss_served : int;
+  ss_crashes : int;
+  ss_retried : int;  (** backlog requeued by this shard's crashes *)
+  ss_recovered : int;  (** in-flight requests resolved via [recover] *)
+  ss_max_queue : int;
+  ss_recovery_ns : float list;  (** per crash, oldest first *)
+}
+
+type degraded = {
+  dg_victim : int;
+  dg_window_ns : float;
+      (** total virtual time the victim spent crashed + recovering *)
+  dg_survivor_completions : int;
+      (** requests completed by other shards inside that window *)
+  dg_survivor_mops : float;
+}
+
+type report = {
+  total_requests : int;
+  completed : int;
+  lost : int;  (** requests that never resolved — must be 0 *)
+  retried : int;
+  recovered : int;
+  makespan_ns : float;
+  throughput_mops : float;
+  lat_mean_ns : float;
+  lat_p50_ns : float;
+  lat_p90_ns : float;
+  lat_p99_ns : float;
+  degraded : degraded option;
+  shards : shard_stat list;
+  divergences : int;  (** schedule-replay divergences (0 unless replaying) *)
+}
+
+val latency : Shard.request -> float option
+(** Completion latency of a single request, clamped at zero; [None] while
+    pending. *)
+
+val build :
+  total:int ->
+  divergences:int ->
+  requests:Shard.request list ->
+  shards:Shard.t array ->
+  crash_victim:int option ->
+  report
+
+val check : crash_expected:bool -> report -> (unit, string) result
+(** The `--check` gate: zero lost requests; and when a crash was
+    planned, the victim really crashed, the recovery window has positive
+    duration, and survivors completed requests inside it. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> string

@@ -1,0 +1,337 @@
+(* The sharded recoverable KV service: N shards (each an independent
+   recoverable structure on its own heap, see Shard), a deterministic
+   router, client fibers (closed-loop, or open-loop with a virtual-time
+   Poisson arrival process), and a controller fiber that can crash a
+   single shard mid-traffic.
+
+   Thread layout: tid 0 is the controller, tids 1..C the clients, tids
+   C+1..C+S the shard servers.  Everything runs in ONE Sim.run — the
+   crash is a per-fiber interrupt handled inside the victim's server
+   fiber, not a run boundary, which is what lets the surviving shards
+   keep serving while the victim recovers. *)
+
+type crash_plan =
+  | After_requests of { victim : int; requests : int }
+      (* controller-injected once the store has completed [requests] *)
+  | At_dispatch of { victim : int; dispatch : int }
+      (* static Sim interrupt at the victim server's n-th dispatch —
+         the exploration harness's replayable crash point *)
+
+type config = {
+  factory : Set_intf.factory;
+  shards : int;
+  clients : int;
+  ops_per_client : int;
+  batch : int;
+  workload : Workload.config;
+  open_loop_ns : float option;
+  crash : crash_plan option;
+  wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  restart_ns : float;
+  seed : int;
+}
+
+let default_config factory =
+  {
+    factory;
+    shards = 4;
+    clients = 4;
+    ops_per_client = 200;
+    batch = 1;
+    workload = Workload.default Workload.update_intensive;
+    open_loop_ns = None;
+    crash = None;
+    wb = `Rng;
+    restart_ns = 5_000.;
+    seed = 1;
+  }
+
+(* Service-level virtual costs (the structures' own costs come from
+   Cost.current): a request submission, an idle mailbox poll, and one
+   server activation amortized over a batch. *)
+let submit_ns = 30.
+let poll_ns = 60.
+let activation_ns = 40.
+
+let victim_of = function
+  | None -> None
+  | Some (After_requests { victim; _ }) | Some (At_dispatch { victim; _ }) ->
+      Some victim
+
+let validate cfg =
+  let threads = 1 + cfg.clients + cfg.shards in
+  if cfg.shards < 1 then Error "store: shards must be >= 1"
+  else if cfg.clients < 1 then Error "store: clients must be >= 1"
+  else if cfg.ops_per_client < 1 then Error "store: ops-per-client must be >= 1"
+  else if cfg.batch < 1 then Error "store: batch must be >= 1"
+  else if threads > Pmem.max_threads then
+    Error
+      (Printf.sprintf "store: 1 + %d clients + %d shards exceeds %d threads"
+         cfg.clients cfg.shards Pmem.max_threads)
+  else
+    match victim_of cfg.crash with
+    | Some v when v < 0 || v >= cfg.shards ->
+        Error (Printf.sprintf "store: crash shard %d out of range" v)
+    | _ -> Ok threads
+
+let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
+  match validate cfg with
+  | Error _ as e -> e
+  | Ok threads -> (
+      Pmem.reset_pending ();
+      Pstats.set_all_enabled true;
+      let server_tid sid = 1 + cfg.clients + sid in
+      let shards =
+        Array.init cfg.shards (fun sid ->
+            Shard.create cfg.factory ~threads ~server_tid:(server_tid sid) sid)
+      in
+      (* Prefill outside the simulated run (like Crashes): route each key
+         to its owning shard so per-shard contents match live routing. *)
+      let prng = Random.State.make [| cfg.seed; 0x5704E |] in
+      for _ = 1 to cfg.workload.Workload.prefill_n do
+        let k = Workload.gen_key prng cfg.workload in
+        let sid = Router.route ~shards:cfg.shards k in
+        ignore (shards.(sid).Shard.algo.Set_intf.insert k : bool)
+      done;
+      Pmem.reset_pending ();
+      if Metrics.active () then Metrics.reset ();
+      Array.iter
+        (fun (s : Shard.t) ->
+          s.Shard.initial <- s.Shard.algo.Set_intf.contents ())
+        shards;
+      let total = cfg.clients * cfg.ops_per_client in
+      let completed = ref 0 in
+      let requests = ref [] in
+      let next_rid = ref 0 in
+      let lat_hist = Metrics.histogram "store.request.latency" in
+      let on_complete (req : Shard.request) ~ok:_ ~recovered:_ =
+        incr completed;
+        Metrics.observe lat_hist
+          (Float.max 0. (Sim.now () -. req.Shard.submit_ns))
+      in
+      let live () = !completed < total in
+      let client cid =
+        let crng = Random.State.make [| cfg.seed; cid; 0xC11E27 |] in
+        for _ = 1 to cfg.ops_per_client do
+          (match cfg.open_loop_ns with
+          | None -> ()
+          | Some mean ->
+              (* exponential interarrival gap in virtual time; [advance]
+                 rather than [step]: waiting for an arrival is not a
+                 shared-memory access *)
+              let u = Random.State.float crng 1. in
+              Sim.advance (-.mean *. log (1. -. u)));
+          Sim.step submit_ns;
+          let op = Workload.gen_op crng cfg.workload in
+          let sid = Router.route ~shards:cfg.shards (Set_intf.op_key op) in
+          incr next_rid;
+          let req =
+            {
+              Shard.rid = !next_rid;
+              rsid = sid;
+              op;
+              submit_ns = Sim.now ();
+              retried = false;
+              state = Shard.Pending;
+            }
+          in
+          requests := req :: !requests;
+          Shard.submit shards.(sid) req;
+          match cfg.open_loop_ns with
+          | Some _ -> ()  (* open loop: fire and move to the next arrival *)
+          | None ->
+              (* closed loop: block until the request resolves *)
+              let rec wait () =
+                match req.Shard.state with
+                | Shard.Pending ->
+                    Sim.step poll_ns;
+                    wait ()
+                | Shard.Done _ -> ()
+              in
+              wait ()
+        done
+      in
+      let controller () =
+        match cfg.crash with
+        | Some (After_requests { victim; requests = after }) ->
+            let rec wait () =
+              if !completed < after && !completed < total then begin
+                Sim.step 50.;
+                wait ()
+              end
+            in
+            wait ();
+            if live () then begin
+              Trace.note
+                (Printf.sprintf "injecting crash into shard %d after %d \
+                                 completions" victim !completed);
+              Sim.interrupt ~tid:(server_tid victim) Shard.Crash
+            end
+        | Some (At_dispatch _) | None -> ()
+      in
+      let bodies =
+        Array.init threads (fun tid ->
+            if tid = 0 then fun (_ : int) -> controller ()
+            else if tid <= cfg.clients then fun (_ : int) -> client (tid - 1)
+            else
+              fun (_ : int) ->
+                Shard.serve
+                  shards.(tid - 1 - cfg.clients)
+                  ~batch:cfg.batch ~activation_ns ~poll_ns
+                  ~restart_ns:cfg.restart_ns ~wb:cfg.wb ~live ~on_complete)
+      in
+      let interrupts =
+        match cfg.crash with
+        | Some (At_dispatch { victim; dispatch }) ->
+            [| (server_tid victim, dispatch, Shard.Crash) |]
+        | _ -> [||]
+      in
+      let step_limit = max 2_000_000 (total * 20_000) in
+      let divergences = ref 0 in
+      match
+        Sim.run ~policy:`Perf ~seed:cfg.seed ~step_limit ~schedule ~record
+          ~divergence:(fun ~step:_ ~want:_ -> incr divergences)
+          ~interrupts bodies
+      with
+      | exception Pmem.Poisoned what ->
+          Error (Printf.sprintf "touched never-persisted data: %s" what)
+      | exception Sim.Step_limit ->
+          Error
+            "step budget exhausted: lost request or livelock suspected"
+      | Sim.Crashed_at _ -> Error "store: unexpected machine-wide crash"
+      | Sim.All_done -> (
+          let shard_error =
+            Array.fold_left
+              (fun acc (s : Shard.t) ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match s.Shard.algo.Set_intf.check () with
+                    | Error msg ->
+                        Some
+                          (Printf.sprintf "structure invariant: shard %d: %s"
+                             s.Shard.sid msg)
+                    | Ok () -> (
+                        let final = s.Shard.algo.Set_intf.contents () in
+                        match
+                          Oracle.check ~initial:s.Shard.initial ~final
+                            (List.rev s.Shard.events)
+                        with
+                        | Error msg ->
+                            Some
+                              (Printf.sprintf "oracle: shard %d: %s"
+                                 s.Shard.sid msg)
+                        | Ok () -> None)))
+              None shards
+          in
+          match shard_error with
+          | Some msg -> Error msg
+          | None ->
+              Ok
+                (Slo.build ~total ~divergences:!divergences
+                   ~requests:!requests ~shards
+                   ~crash_victim:(victim_of cfg.crash))))
+
+(* ---- bounded exhaustive exploration ----------------------------------- *)
+
+(* Sweep shard-local crash points of a small store: for each victim
+   shard, interrupt its server at dispatch 1, 2, ... up to
+   [dispatch_budget] (or until the interrupt stops firing — the server
+   finished earlier), crossed with the deterministic write-back
+   resolutions.  Every execution must yield definite request outcomes —
+   zero lost, per-shard oracle agreement — or the sweep reports the
+   first counterexample.  With a fixed seed and the `Perf policy the
+   schedule is pinned, so a failing (victim, dispatch, wb) triple
+   replays as is. *)
+
+type explore_stats = {
+  ex_executions : int;
+  ex_fired : int;  (* runs whose interrupt actually delivered *)
+  ex_max_dispatch : int array;  (* highest firing dispatch index per shard *)
+  ex_failures : int;
+  ex_first_failure : string option;
+  ex_first_cex : (config * int array * string) option;
+}
+
+let wb_label = function
+  | `Rng -> "rng"
+  | `Drop -> "drop"
+  | `All -> "all"
+  | `Prefix n -> Printf.sprintf "prefix:%d" n
+
+let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
+    ?(dispatch_budget = 64) cfg =
+  match run { cfg with crash = None } with
+  | Error msg -> Error ("explore: crash-free baseline failed: " ^ msg)
+  | Ok _ ->
+      let executions = ref 0 in
+      let fired = ref 0 in
+      let failures = ref 0 in
+      let first_failure = ref None in
+      let first_cex = ref None in
+      let fail cfg' msg =
+        incr failures;
+        if !first_failure = None then begin
+          first_failure := Some msg;
+          (* Re-run the counterexample recording its schedule so the
+             caller can save a replayable repro; the seed pins the
+             interleaving, so this reproduces the same failure.  The
+             stored error is the bare one a replay will observe, not
+             the "victim/dispatch/wb"-prefixed display string. *)
+          let sched = ref [] in
+          let bare =
+            match run ~record:(fun c -> sched := c :: !sched) cfg' with
+            | Error e -> e
+            | Ok r when r.Slo.lost > 0 ->
+                Printf.sprintf "%d lost requests" r.Slo.lost
+            | Ok _ -> msg
+          in
+          first_cex := Some (cfg', Array.of_list (List.rev !sched), bare)
+        end
+      in
+      let max_dispatch = Array.make cfg.shards 0 in
+      for victim = 0 to cfg.shards - 1 do
+        let k = ref 1 in
+        let continue = ref true in
+        while !continue && !k <= dispatch_budget do
+          let fired_here = ref false in
+          List.iter
+            (fun wb ->
+              let cfg' =
+                { cfg with crash = Some (At_dispatch { victim; dispatch = !k }); wb }
+              in
+              incr executions;
+              match run cfg' with
+              | Error msg ->
+                  fired_here := true;
+                  fail cfg'
+                    (Printf.sprintf "victim %d dispatch %d wb %s: %s" victim
+                       !k (wb_label wb) msg)
+              | Ok report ->
+                  let stat = List.nth report.Slo.shards victim in
+                  if stat.Slo.ss_crashes > 0 then begin
+                    incr fired;
+                    fired_here := true
+                  end;
+                  if report.Slo.lost > 0 then
+                    fail cfg'
+                      (Printf.sprintf
+                         "victim %d dispatch %d wb %s: %d lost requests"
+                         victim !k (wb_label wb) report.Slo.lost))
+            wbs;
+          if !fired_here then begin
+            max_dispatch.(victim) <- !k;
+            incr k
+          end
+          else continue := false
+        done
+      done;
+      Ok
+        {
+          ex_executions = !executions;
+          ex_fired = !fired;
+          ex_max_dispatch = max_dispatch;
+          ex_failures = !failures;
+          ex_first_failure = !first_failure;
+          ex_first_cex = !first_cex;
+        }

@@ -1,0 +1,85 @@
+(** The sharded recoverable KV service: N {!Shard}s routed by
+    {!Router}, driven by client fibers (closed-loop, or open-loop with
+    exponential virtual-time interarrivals), with an optional
+    crash-of-one-shard plan injected mid-traffic.
+
+    Thread layout: tid 0 is a controller fiber (it injects
+    [After_requests] crashes), tids [1..clients] the clients, tids
+    [clients+1 .. clients+shards] the shard servers.  The whole serve is
+    ONE [Sim.run]: a shard crash is a per-fiber interrupt recovered
+    inside the victim's server fiber, so survivors keep serving
+    throughout — the degraded window {!Slo} measures. *)
+
+type crash_plan =
+  | After_requests of { victim : int; requests : int }
+      (** controller-injected once [requests] store completions passed *)
+  | At_dispatch of { victim : int; dispatch : int }
+      (** static interrupt at the victim server's n-th dispatch
+          ([Sim.run ?interrupts]) — the exploration harness's replayable
+          crash point *)
+
+type config = {
+  factory : Set_intf.factory;
+  shards : int;
+  clients : int;
+  ops_per_client : int;
+  batch : int;  (** max requests drained per server activation *)
+  workload : Workload.config;
+  open_loop_ns : float option;
+      (** [Some mean]: open-loop Poisson arrivals with this mean
+          interarrival (virtual ns); [None]: closed loop *)
+  crash : crash_plan option;
+  wb : [ `Rng | `Drop | `All | `Prefix of int ];
+      (** write-back resolution of shard crashes (see [Pmem.crash]) *)
+  restart_ns : float;  (** shard restart latency charged before recovery *)
+  seed : int;
+}
+
+val default_config : Set_intf.factory -> config
+(** 4 shards, 4 clients, 200 ops/client, batch 1, update-intensive
+    uniform workload, closed loop, no crash, rng write-backs, 5000 ns
+    restart, seed 1. *)
+
+val run :
+  ?record:(int -> unit) ->
+  ?schedule:int array ->
+  config ->
+  (Slo.report, string) result
+(** One serve run.  Errors are service-level detectability violations —
+    per-shard oracle disagreement ("oracle: shard N: ..."), structure
+    invariant breaks, poisoned NVM data, or a suspected lost request
+    (step-budget exhaustion) — in the same error-class format as
+    [Crashes].  [record]/[schedule] expose [Sim.run]'s schedule
+    recording/replay for serve repro files ({!Store_repro});
+    replay divergences are counted in the report. *)
+
+val wb_label : [ `Rng | `Drop | `All | `Prefix of int ] -> string
+(** Stable CLI/repro label: ["rng"], ["drop"], ["all"], ["prefix:<k>"]. *)
+
+type explore_stats = {
+  ex_executions : int;
+  ex_fired : int;  (** runs whose crash interrupt actually delivered *)
+  ex_max_dispatch : int array;
+      (** per shard, the highest dispatch index at which the interrupt
+          still fired *)
+  ex_failures : int;
+  ex_first_failure : string option;
+  ex_first_cex : (config * int array * string) option;
+      (** the first counterexample's exact config ([At_dispatch] crash
+          plan, write-back resolution), recorded schedule and bare
+          error — as a replay observes it — ready to save as a repro *)
+}
+
+val explore :
+  ?wbs:[ `Rng | `Drop | `All | `Prefix of int ] list ->
+  ?dispatch_budget:int ->
+  config ->
+  (explore_stats, string) result
+(** Bounded exhaustive sweep of shard-local crash points: every victim
+    shard x dispatch index (1 up to [dispatch_budget], default 64, or
+    until the victim finishes before the interrupt fires) x write-back
+    resolution (default [`Drop; `All; `Prefix 1; `Prefix 2]).  Each
+    execution must resolve every request to a definite outcome; failures
+    are counted and the first counterexample (victim, dispatch, wb,
+    error) is reported.  [cfg.crash] is ignored; the seed pins the
+    schedule so counterexamples replay. *)

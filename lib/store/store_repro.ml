@@ -1,0 +1,338 @@
+(* Replay files for failing serve runs, mirroring Harness.Repro's
+   line-based format.  A serve is ONE Sim.run, so the file carries one
+   recorded schedule instead of per-round lines; together with the
+   config scalars and the seed it pins the client rng streams, the
+   routing, the crash point and the write-back resolution, so a failure
+   replays bit-for-bit.  Any schedule divergence on replay is fatal —
+   the execution would no longer be the recorded one. *)
+
+let magic = "tracking-nvm-serve v1"
+
+type t = {
+  algo : string;
+  shards : int;
+  clients : int;
+  ops_per_client : int;
+  batch : int;
+  find_pct : int;
+  key_range : int;
+  prefill : int;
+  skew : float option;  (* hot-set mass; None = uniform *)
+  open_loop_ns : float option;
+  crash : Store.crash_plan option;
+  wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  restart_ns : float;
+  seed : int;
+  error : string;
+  schedule : int array;
+}
+
+let of_config (cfg : Store.config) ~error ~schedule =
+  {
+    algo = cfg.Store.factory.Set_intf.fname;
+    shards = cfg.Store.shards;
+    clients = cfg.Store.clients;
+    ops_per_client = cfg.Store.ops_per_client;
+    batch = cfg.Store.batch;
+    find_pct = cfg.Store.workload.Workload.mix.Workload.find_pct;
+    key_range = cfg.Store.workload.Workload.key_range;
+    prefill = cfg.Store.workload.Workload.prefill_n;
+    skew =
+      (match cfg.Store.workload.Workload.dist with
+      | Workload.Uniform -> None
+      | Workload.Skewed { s; _ } -> Some s);
+    open_loop_ns = cfg.Store.open_loop_ns;
+    crash = cfg.Store.crash;
+    wb = cfg.Store.wb;
+    restart_ns = cfg.Store.restart_ns;
+    seed = cfg.Store.seed;
+    error;
+    schedule;
+  }
+
+let config_of r =
+  match Set_intf.by_name r.algo with
+  | Error msg -> Error (Printf.sprintf "serve repro references %s" msg)
+  | Ok factory -> (
+      match Workload.mix_of_find_pct r.find_pct with
+      | exception Invalid_argument _ ->
+          Error (Printf.sprintf "serve repro has invalid find-pct %d" r.find_pct)
+      | mix -> (
+          match
+            match r.skew with
+            | None -> Ok Workload.Uniform
+            | Some s -> (
+                match Workload.skewed s with
+                | d -> Ok d
+                | exception Invalid_argument m -> Error m)
+          with
+          | Error m -> Error m
+          | Ok dist ->
+              Ok
+                {
+                  Store.factory;
+                  shards = r.shards;
+                  clients = r.clients;
+                  ops_per_client = r.ops_per_client;
+                  batch = r.batch;
+                  workload =
+                    {
+                      Workload.mix;
+                      key_range = r.key_range;
+                      prefill_n = r.prefill;
+                      dist;
+                    };
+                  open_loop_ns = r.open_loop_ns;
+                  crash = r.crash;
+                  wb = r.wb;
+                  restart_ns = r.restart_ns;
+                  seed = r.seed;
+                }))
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let schedule_string sched =
+  if Array.length sched = 0 then "-"
+  else String.concat "," (Array.to_list (Array.map string_of_int sched))
+
+let wb_string = function
+  | `Rng -> "rng"
+  | `Drop -> "drop"
+  | `All -> "all"
+  | `Prefix k -> Printf.sprintf "prefix:%d" k
+
+let crash_string = function
+  | None -> "none"
+  | Some (Store.After_requests { victim; requests }) ->
+      Printf.sprintf "after %d %d" victim requests
+  | Some (Store.At_dispatch { victim; dispatch }) ->
+      Printf.sprintf "dispatch %d %d" victim dispatch
+
+let pp ppf r =
+  Format.fprintf ppf "%s@." magic;
+  Format.fprintf ppf "algo %s@." r.algo;
+  Format.fprintf ppf "shards %d@." r.shards;
+  Format.fprintf ppf "clients %d@." r.clients;
+  Format.fprintf ppf "ops-per-client %d@." r.ops_per_client;
+  Format.fprintf ppf "batch %d@." r.batch;
+  Format.fprintf ppf "find-pct %d@." r.find_pct;
+  Format.fprintf ppf "key-range %d@." r.key_range;
+  Format.fprintf ppf "prefill %d@." r.prefill;
+  (match r.skew with
+  | None -> Format.fprintf ppf "dist uniform@."
+  | Some s -> Format.fprintf ppf "dist skew:%g@." s);
+  (match r.open_loop_ns with
+  | None -> Format.fprintf ppf "open-loop-ns -@."
+  | Some m -> Format.fprintf ppf "open-loop-ns %g@." m);
+  Format.fprintf ppf "crash %s@." (crash_string r.crash);
+  Format.fprintf ppf "wb %s@." (wb_string r.wb);
+  Format.fprintf ppf "restart-ns %g@." r.restart_ns;
+  Format.fprintf ppf "seed %d@." r.seed;
+  Format.fprintf ppf "error %s@." (one_line r.error);
+  Format.fprintf ppf "schedule %s@." (schedule_string r.schedule)
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp ppf r;
+      Format.pp_print_flush ppf ())
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+let parse_schedule = function
+  | "-" | "" -> Ok [||]
+  | s -> (
+      let parts = String.split_on_char ',' s in
+      try Ok (Array.of_list (List.map int_of_string parts))
+      with Failure _ -> Error (Printf.sprintf "bad schedule %S" s))
+
+let parse_wb = function
+  | "rng" -> Ok `Rng
+  | "drop" -> Ok `Drop
+  | "all" -> Ok `All
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "prefix" -> (
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some k when k >= 1 -> Ok (`Prefix k)
+          | _ -> Error (Printf.sprintf "bad write-back resolution %S" s))
+      | _ -> Error (Printf.sprintf "bad write-back resolution %S" s))
+
+let parse_crash = function
+  | "none" -> Ok None
+  | s -> (
+      match String.split_on_char ' ' s with
+      | [ "after"; v; n ] -> (
+          match (int_of_string_opt v, int_of_string_opt n) with
+          | Some victim, Some requests ->
+              Ok (Some (Store.After_requests { victim; requests }))
+          | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+      | [ "dispatch"; v; k ] -> (
+          match (int_of_string_opt v, int_of_string_opt k) with
+          | Some victim, Some dispatch ->
+              Ok (Some (Store.At_dispatch { victim; dispatch }))
+          | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+      | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+
+let parse_dist = function
+  | "uniform" -> Ok None
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "skew" -> (
+          match
+            float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some v -> Ok (Some v)
+          | None -> Error (Printf.sprintf "bad dist %S" s))
+      | _ -> Error (Printf.sprintf "bad dist %S" s))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error msg -> Error msg
+  | [] -> Error "empty serve repro file"
+  | first :: _ when first <> magic ->
+      Error (Printf.sprintf "not a serve repro file (expected %S)" magic)
+  | _ :: lines -> (
+      let r =
+        ref
+          {
+            algo = "";
+            shards = 0;
+            clients = 0;
+            ops_per_client = 0;
+            batch = 0;
+            find_pct = -1;
+            key_range = 0;
+            prefill = -1;
+            skew = None;
+            open_loop_ns = None;
+            crash = None;
+            wb = `Rng;
+            restart_ns = -1.;
+            seed = 0;
+            error = "";
+            schedule = [||];
+          }
+      in
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      let seen = ref [] in
+      let once key =
+        if List.mem key !seen then fail (Printf.sprintf "duplicate field %S" key)
+        else seen := key :: !seen
+      in
+      let int_field key set v =
+        once key;
+        match int_of_string_opt v with
+        | Some n -> r := set !r n
+        | None -> fail (Printf.sprintf "bad integer %S" v)
+      in
+      let float_field key set v =
+        once key;
+        match float_of_string_opt v with
+        | Some x -> r := set !r x
+        | None -> fail (Printf.sprintf "bad number %S" v)
+      in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line <> "" then
+            let key, value =
+              match String.index_opt line ' ' with
+              | None -> (line, "")
+              | Some i ->
+                  ( String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1) )
+            in
+            match key with
+            | "algo" ->
+                once key;
+                r := { !r with algo = value }
+            | "shards" -> int_field key (fun r n -> { r with shards = n }) value
+            | "clients" -> int_field key (fun r n -> { r with clients = n }) value
+            | "ops-per-client" ->
+                int_field key (fun r n -> { r with ops_per_client = n }) value
+            | "batch" -> int_field key (fun r n -> { r with batch = n }) value
+            | "find-pct" ->
+                int_field key (fun r n -> { r with find_pct = n }) value
+            | "key-range" ->
+                int_field key (fun r n -> { r with key_range = n }) value
+            | "prefill" -> int_field key (fun r n -> { r with prefill = n }) value
+            | "dist" -> (
+                once key;
+                match parse_dist value with
+                | Ok skew -> r := { !r with skew }
+                | Error e -> fail e)
+            | "open-loop-ns" -> (
+                once key;
+                if value = "-" then r := { !r with open_loop_ns = None }
+                else
+                  match float_of_string_opt value with
+                  | Some m when m > 0. -> r := { !r with open_loop_ns = Some m }
+                  | _ -> fail (Printf.sprintf "bad open-loop-ns %S" value))
+            | "crash" -> (
+                once key;
+                match parse_crash value with
+                | Ok crash -> r := { !r with crash }
+                | Error e -> fail e)
+            | "wb" -> (
+                once key;
+                match parse_wb value with
+                | Ok wb -> r := { !r with wb }
+                | Error e -> fail e)
+            | "restart-ns" ->
+                float_field key (fun r x -> { r with restart_ns = x }) value
+            | "seed" -> int_field key (fun r n -> { r with seed = n }) value
+            | "error" ->
+                once key;
+                r := { !r with error = value }
+            | "schedule" -> (
+                once key;
+                match parse_schedule value with
+                | Ok schedule -> r := { !r with schedule }
+                | Error e -> fail e)
+            | k -> fail (Printf.sprintf "unknown field %S" k))
+        lines;
+      match !err with
+      | Some e -> Error e
+      | None ->
+          let r = !r in
+          if r.algo = "" then Error "missing algo field"
+          else if r.shards <= 0 then Error "missing/invalid shards field"
+          else if r.clients <= 0 then Error "missing/invalid clients field"
+          else if r.ops_per_client <= 0 then
+            Error "missing/invalid ops-per-client field"
+          else if r.batch <= 0 then Error "missing/invalid batch field"
+          else if r.find_pct < 0 || r.find_pct > 100 then
+            Error "missing/invalid find-pct field"
+          else if r.key_range <= 0 then Error "missing/invalid key-range field"
+          else if r.prefill < 0 then Error "missing/invalid prefill field"
+          else if r.restart_ns < 0. then
+            Error "missing/invalid restart-ns field"
+          else Ok r)
+
+(* ---- replay ------------------------------------------------------------ *)
+
+let replay r =
+  match config_of r with
+  | Error _ as e -> e
+  | Ok cfg -> (
+      let result = Store.run ~schedule:r.schedule cfg in
+      match result with
+      | Ok report when report.Slo.divergences > 0 ->
+          Error
+            (Printf.sprintf
+               "schedule divergence (%d entries not honored): the replay \
+                executed a different interleaving"
+               report.Slo.divergences)
+      | Ok report when report.Slo.lost > 0 ->
+          Error (Printf.sprintf "%d lost requests" report.Slo.lost)
+      | Ok _ -> Ok ()
+      | Error _ as e -> e)

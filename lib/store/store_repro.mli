@@ -1,0 +1,48 @@
+(** Replay files for failing serve runs — the store-service counterpart
+    of [Harness.Repro]'s ["tracking-nvm-repro v1"] format.
+
+    A serve is one [Sim.run], so a file carries the full service config
+    (algorithm, topology, workload incl. skew, loop mode, crash plan,
+    write-back resolution, restart latency), the seed, the recorded
+    error and the recorded scheduler choices.  Replaying re-runs
+    {!Store.run} with that schedule; any divergence is fatal — the
+    replay would no longer be the recorded execution. *)
+
+val magic : string
+
+type t = {
+  algo : string;
+  shards : int;
+  clients : int;
+  ops_per_client : int;
+  batch : int;
+  find_pct : int;
+  key_range : int;
+  prefill : int;
+  skew : float option;  (** hot-set mass; [None] = uniform keys *)
+  open_loop_ns : float option;
+  crash : Store.crash_plan option;
+  wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  restart_ns : float;
+  seed : int;
+  error : string;
+  schedule : int array;
+}
+
+val of_config : Store.config -> error:string -> schedule:int array -> t
+
+val config_of : t -> (Store.config, string) result
+(** Rebuild a runnable config; [Error] if the file references an unknown
+    algorithm or invalid workload parameters. *)
+
+val pp : Format.formatter -> t -> unit
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+(** Parse and validate; rejects wrong magic, duplicate fields, unknown
+    fields and missing/out-of-range values. *)
+
+val replay : t -> (unit, string) result
+(** Re-run the recorded serve under its recorded schedule.  [Ok ()] if
+    the run now passes (the failure did not reproduce); [Error] with the
+    reproduced failure, or a fatal schedule-divergence report. *)

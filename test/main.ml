@@ -23,4 +23,5 @@ let () =
       ("explore", Test_explore.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
+      ("store", Test_store.suite);
     ]

@@ -9,7 +9,7 @@ let explore_cfg ~algo ~seed ~preemptions =
       campaign =
         Crashes.
           {
-            factory = Option.get (Set_intf.by_name algo);
+            factory = Result.get_ok (Set_intf.by_name algo);
             threads = 2;
             ops_per_thread = 1;
             workload =

@@ -39,6 +39,84 @@ let test_workload_mix_odd_remainder () =
   Alcotest.(check bool) "even ins/del split" true
     (abs_float (frac ins -. frac del) < 0.01)
 
+let test_workload_skew_ranking () =
+  (* Empirical frequency must match the skew parameter: for hot-set mass
+     s, the hottest 20% of keys receive ~s of the draws, and quintile
+     frequencies are monotonically decreasing.  Also: more skew = a
+     heavier hot set. *)
+  let rng = Random.State.make [| 17 |] in
+  let n = 50_000 in
+  let mass_of s =
+    let cfg =
+      { (Workload.default Workload.read_intensive) with
+        Workload.key_range = 100;
+        dist = Workload.skewed s;
+      }
+    in
+    let counts = Array.make 5 0 in
+    for _ = 1 to n do
+      let k = Workload.gen_key rng cfg in
+      Alcotest.(check bool) "key in range" true (k >= 1 && k <= 100);
+      counts.((k - 1) / 20) <- counts.((k - 1) / 20) + 1
+    done;
+    for q = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "s=%.2f: quintile %d >= quintile %d" s q (q + 1))
+        true
+        (counts.(q) >= counts.(q + 1))
+    done;
+    float_of_int counts.(0) /. float_of_int n
+  in
+  let m50 = mass_of 0.5 and m80 = mass_of 0.8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "s=0.5: hot quintile holds ~50%% (%.3f)" m50)
+    true
+    (abs_float (m50 -. 0.5) < 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "s=0.8: hot quintile holds ~80%% (%.3f)" m80)
+    true
+    (abs_float (m80 -. 0.8) < 0.03);
+  Alcotest.(check bool) "more skew concentrates harder" true (m80 > m50);
+  (* parameter validation *)
+  (match Workload.skewed 0.1 with
+  | _ -> Alcotest.fail "skew below 0.2 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Workload.skewed 1.0 with
+  | _ -> Alcotest.fail "skew of 1.0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_workload_uniform_stream_unchanged () =
+  (* The Uniform path must consume exactly the historical rng draws:
+     recorded campaign repros replay the stream. *)
+  let cfg = Workload.default Workload.read_intensive in
+  let r1 = Random.State.make [| 42 |] and r2 = Random.State.make [| 42 |] in
+  for _ = 1 to 1_000 do
+    let k = Workload.gen_key r1 cfg in
+    Alcotest.(check int) "one int draw per key" (1 + Random.State.int r2 500) k
+  done
+
+let contains_substring msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let test_by_name_lists_valid_names () =
+  (match Set_intf.by_name "tracking" with
+  | Ok f -> Alcotest.(check string) "found" "tracking" f.Set_intf.fname
+  | Error e -> Alcotest.fail e);
+  match Set_intf.by_name "no-such-algo" with
+  | Ok _ -> Alcotest.fail "unknown name must be an error"
+  | Error msg ->
+      Alcotest.(check bool) "error names the culprit" true
+        (contains_substring msg "no-such-algo");
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error lists %S" name)
+            true
+            (contains_substring msg name))
+        (Set_intf.names ())
+
 let test_prefill_fills () =
   Pmem.reset_pending ();
   let heap = Pmem.heap () in
@@ -190,6 +268,12 @@ let suite =
     Alcotest.test_case "workload mix distribution" `Quick test_workload_mix;
     Alcotest.test_case "odd update remainder splits evenly" `Quick
       test_workload_mix_odd_remainder;
+    Alcotest.test_case "skewed keys match the skew parameter" `Quick
+      test_workload_skew_ranking;
+    Alcotest.test_case "uniform rng stream unchanged" `Quick
+      test_workload_uniform_stream_unchanged;
+    Alcotest.test_case "by_name error lists valid names" `Quick
+      test_by_name_lists_valid_names;
     Alcotest.test_case "prefill reaches ~40%" `Quick test_prefill_fills;
     Alcotest.test_case "runner sanity" `Quick test_runner_sanity;
     Alcotest.test_case "persistence-free is faster" `Quick

@@ -195,6 +195,104 @@ let test_queue_bound_completes_writebacks () =
   | Some v -> Alcotest.(check bool) "persistence progressed" true (v > 0)
   | None -> Alcotest.fail "nothing persisted despite 300 bounded flushes"
 
+let test_heap_crash_isolation () =
+  (* The property shard-local recovery builds on: a crash of one heap
+     must not perturb another heap's persisted OR pending state. *)
+  let _ = fresh () in
+  let victim = Pmem.heap ~name:"victim" () in
+  let survivor = Pmem.heap ~name:"survivor" () in
+  let v = Pmem.alloc victim 1 in
+  let s = Pmem.alloc survivor 10 in
+  (* survivor: 10 durable, 20 written + flushed but NOT yet synced *)
+  Pmem.pwb_f site_pwb s;
+  Pmem.psync site_sync;
+  Pmem.write s 20;
+  Pmem.pwb_f site_pwb s;
+  (* victim: 2 written + flushed, unsynced — lost by its crash *)
+  Pmem.write v 2;
+  Pmem.pwb_f site_pwb v;
+  Pmem.crash ~scope:`Heap victim;
+  Alcotest.(check bool) "victim unsynced flush dropped" true
+    (Pmem.is_poisoned v);
+  Alcotest.(check int) "survivor volatile state intact" 20 (Pmem.peek s);
+  Alcotest.(check (option int))
+    "survivor pending write-back still pending" (Some 10)
+    (Pmem.peek_persisted s);
+  (* the survivor's outstanding write-back still completes on sync *)
+  Pmem.psync site_sync;
+  Alcotest.(check (option int))
+    "survivor write-back completes after the crash" (Some 20)
+    (Pmem.peek_persisted s)
+
+let test_heap_crash_resolution_counts_victim_only () =
+  (* [`Prefix k] under [`Heap] scope counts the victim's write-backs:
+     interleaved survivor entries must not consume the budget. *)
+  let _ = fresh () in
+  let victim = Pmem.heap ~name:"victim" () in
+  let survivor = Pmem.heap ~name:"survivor" () in
+  let a = Pmem.alloc victim 0 and b = Pmem.alloc victim 0 in
+  let s = Pmem.alloc survivor 0 in
+  Pmem.write a 1;
+  Pmem.pwb_f site_pwb a;
+  Pmem.write s 1;
+  Pmem.pwb_f site_pwb s;
+  Pmem.write b 1;
+  Pmem.pwb_f site_pwb b;
+  Pmem.crash ~resolution:(`Prefix 1) ~scope:`Heap victim;
+  Alcotest.(check int) "victim's oldest write-back completed" 1 (Pmem.peek a);
+  Alcotest.(check bool) "victim's second write-back dropped" true
+    (Pmem.is_poisoned b);
+  Alcotest.(check (option int))
+    "survivor entry neither completed nor dropped" None
+    (Pmem.peek_persisted s);
+  Alcotest.(check int) "survivor entry still queued" 1
+    (Pmem.outstanding_writebacks 0)
+
+let test_machine_crash_hits_all_queues () =
+  (* Contrast case: the default [`Machine] scope resolves every queue,
+     so the survivor heap's pending write-back is dropped too (its
+     durable state is of course still per-heap: only the victim's
+     fields are reset). *)
+  let _ = fresh () in
+  let victim = Pmem.heap ~name:"victim" () in
+  let survivor = Pmem.heap ~name:"survivor" () in
+  let v = Pmem.alloc victim 1 in
+  let s = Pmem.alloc survivor 10 in
+  Pmem.write v 2;
+  Pmem.pwb_f site_pwb v;
+  Pmem.write s 20;
+  Pmem.pwb_f site_pwb s;
+  Pmem.crash victim;
+  Alcotest.(check bool) "victim poisoned" true (Pmem.is_poisoned v);
+  Alcotest.(check int) "no survivor write-backs left" 0
+    (Pmem.outstanding_writebacks 0);
+  Pmem.psync site_sync;
+  Alcotest.(check (option int)) "survivor write-back was dropped" None
+    (Pmem.peek_persisted s)
+
+let test_heap_crash_preserves_fence_ordering () =
+  (* Victim segments are still fence-delimited under [`Heap] scope, even
+     with survivor entries interleaved between the fences. *)
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 200 do
+    let _ = fresh () in
+    let victim = Pmem.heap ~name:"victim" () in
+    let survivor = Pmem.heap ~name:"survivor" () in
+    let a = Pmem.alloc victim 0 and b = Pmem.alloc victim 0 in
+    let s = Pmem.alloc survivor 0 in
+    Pmem.write a 1;
+    Pmem.pwb_f site_pwb a;
+    Pmem.write s 1;
+    Pmem.pwb_f site_pwb s;
+    Pmem.pfence site_fence;
+    Pmem.write b 1;
+    Pmem.pwb_f site_pwb b;
+    Pmem.crash ~rng ~scope:`Heap victim;
+    let pa = Pmem.peek_persisted a and pb = Pmem.peek_persisted b in
+    if pb = Some 1 && pa <> Some 1 then
+      Alcotest.fail "pfence violated under `Heap scope: b persisted before a"
+  done
+
 let prop_random_crash_consistency =
   QCheck2.Test.make ~name:"crash yields a persisted-prefix state per cell"
     ~count:200
@@ -250,5 +348,13 @@ let suite =
       test_outstanding_accounting;
     Alcotest.test_case "queue bound completes write-backs" `Quick
       test_queue_bound_completes_writebacks;
+    Alcotest.test_case "heap-scoped crash isolates other heaps" `Quick
+      test_heap_crash_isolation;
+    Alcotest.test_case "heap-scoped prefix counts victim write-backs" `Quick
+      test_heap_crash_resolution_counts_victim_only;
+    Alcotest.test_case "machine-scoped crash resolves all queues" `Quick
+      test_machine_crash_hits_all_queues;
+    Alcotest.test_case "heap-scoped crash respects pfence ordering" `Quick
+      test_heap_crash_preserves_fence_ordering;
     QCheck_alcotest.to_alcotest prop_random_crash_consistency;
   ]

@@ -6,7 +6,7 @@
 let broken_cfg ~threads ~ops =
   Crashes.
     {
-      factory = Option.get (Set_intf.by_name "tracking-broken");
+      factory = Result.get_ok (Set_intf.by_name "tracking-broken");
       threads;
       ops_per_thread = ops;
       workload =

@@ -311,6 +311,118 @@ let test_many_threads () =
       : Sim.outcome);
   Alcotest.(check bool) "all completed" true (Array.for_all Fun.id done_)
 
+(* -- per-fiber interrupts ------------------------------------------------- *)
+
+exception Boom
+
+let test_interrupt_delivered_and_catchable () =
+  let caught = ref (-1) in
+  let finished = ref false in
+  ignore
+    (Sim.run ~policy:`Perf
+       [|
+         (fun _ ->
+           let progress = ref 0 in
+           (try
+              for i = 1 to 100 do
+                Sim.step 10.;
+                progress := i
+              done
+            with Boom -> caught := !progress);
+           (* the fiber survives the interrupt: in-fiber recovery *)
+           Sim.step 5.;
+           finished := true);
+         (fun _ ->
+           Sim.step 35.;
+           Sim.interrupt ~tid:0 Boom;
+           Sim.step 1.);
+       |]
+      : Sim.outcome);
+  (* under `Perf the victim completes steps at 10/20/30, the attacker
+     interrupts at clock 35, and the victim's next resumption (clock 40)
+     receives the exception: progress is exactly 3 *)
+  Alcotest.(check int) "delivered at the next resumption" 3 !caught;
+  Alcotest.(check bool) "victim continued after catching" true !finished
+
+let test_static_interrupt_at_exact_dispatch () =
+  (* dispatch 1 is the fiber's initial thunk; dispatch n >= 2 resumes
+     its (n-1)-th suspension.  Steps cost >= the expensive threshold so
+     every one is a scheduling point (perf mode batches cheap steps).
+     An interrupt at dispatch 3 replaces the return of the fiber's 2nd
+     [step] call — the same boundary convention as [crash_at] — so
+     exactly one loop iteration has finished. *)
+  let caught_at = ref (-1) in
+  ignore
+    (Sim.run
+       ~interrupts:[| (0, 3, Boom) |]
+       [|
+         (fun _ ->
+           let progress = ref 0 in
+           try
+             for i = 1 to 10 do
+               Sim.step 10.;
+               progress := i
+             done
+           with Boom -> caught_at := !progress);
+       |]
+      : Sim.outcome);
+  Alcotest.(check int) "one iteration completed before delivery" 1 !caught_at;
+  (* at = 1 predates the first resumption: delivered there, 0 steps done *)
+  let caught_at = ref (-1) in
+  ignore
+    (Sim.run
+       ~interrupts:[| (0, 1, Boom) |]
+       [|
+         (fun _ ->
+           let progress = ref 0 in
+           try
+             for i = 1 to 10 do
+               Sim.step 10.;
+               progress := i
+             done
+           with Boom -> caught_at := !progress);
+       |]
+      : Sim.outcome);
+  Alcotest.(check int) "armed before any resumption" 0 !caught_at
+
+let test_interrupt_on_finished_fiber_is_noop () =
+  (* static: the victim finishes at dispatch 2, the interrupt armed for
+     dispatch 5 never fires and must not wedge or escape the run *)
+  (match
+     Sim.run
+       ~interrupts:[| (1, 5, Boom) |]
+       [|
+         (fun _ -> for _ = 1 to 20 do Sim.step 10. done);
+         (fun _ -> Sim.step 10.);
+       |]
+   with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash");
+  (* dynamic: aiming at a fiber that already completed is a no-op *)
+  match
+    Sim.run ~policy:`Perf
+      [|
+        (fun _ -> Sim.step 1.);
+        (fun _ ->
+          Sim.step 100.;
+          Sim.interrupt ~tid:0 Boom;
+          Sim.step 1.);
+      |]
+  with
+  | Sim.All_done -> ()
+  | Sim.Crashed_at _ -> Alcotest.fail "unexpected crash"
+
+let test_self_interrupt_raises_immediately () =
+  let caught = ref false in
+  ignore
+    (Sim.run
+       [|
+         (fun _ ->
+           try Sim.interrupt ~tid:0 Boom with Boom -> caught := true);
+       |]
+      : Sim.outcome);
+  Alcotest.(check bool) "self-interrupt raised in place" true !caught
+
 let suite =
   [
     Alcotest.test_case "runs all threads" `Quick test_runs_all;
@@ -339,4 +451,12 @@ let suite =
     Alcotest.test_case "choose drives scheduling" `Quick
       test_choose_drives_scheduling;
     Alcotest.test_case "sixty threads" `Quick test_many_threads;
+    Alcotest.test_case "interrupt delivered and catchable" `Quick
+      test_interrupt_delivered_and_catchable;
+    Alcotest.test_case "static interrupt at exact dispatch" `Quick
+      test_static_interrupt_at_exact_dispatch;
+    Alcotest.test_case "interrupt on finished fiber is no-op" `Quick
+      test_interrupt_on_finished_fiber_is_noop;
+    Alcotest.test_case "self-interrupt raises immediately" `Quick
+      test_self_interrupt_raises_immediately;
   ]

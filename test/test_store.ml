@@ -1,0 +1,333 @@
+(* The sharded recoverable KV service: routing, per-shard crash/recovery
+   under live traffic, exactly-once request outcomes, SLO reporting,
+   serve repro files and the bounded crash-point exploration. *)
+
+let factory name = Result.get_ok (Set_intf.by_name name)
+
+let small_workload ~keys =
+  {
+    (Workload.default Workload.update_intensive) with
+    key_range = keys;
+    prefill_n = keys / 2;
+  }
+
+let cfg ?(algo = "tracking") ?(shards = 2) ?(clients = 2) ?(ops = 30)
+    ?(keys = 32) () =
+  {
+    (Store.default_config (factory algo)) with
+    shards;
+    clients;
+    ops_per_client = ops;
+    workload = small_workload ~keys;
+  }
+
+let run_ok c =
+  match Store.run c with Ok r -> r | Error e -> Alcotest.fail e
+
+(* -- routing -------------------------------------------------------------- *)
+
+let test_router_spreads_keys () =
+  let shards = 4 in
+  let counts = Array.make shards 0 in
+  for k = 1 to 1000 do
+    let s = Router.route ~shards k in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < shards);
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d got a fair share (%d)" i c)
+        true (c > 150))
+    counts;
+  (* deterministic: same key, same shard *)
+  Alcotest.(check int) "stable" (Router.route ~shards 42)
+    (Router.route ~shards 42)
+
+(* -- serving -------------------------------------------------------------- *)
+
+let test_serve_no_crash () =
+  let c = cfg () in
+  let r = run_ok c in
+  let total = c.Store.clients * c.Store.ops_per_client in
+  Alcotest.(check int) "all completed" total r.Slo.completed;
+  Alcotest.(check int) "zero lost" 0 r.Slo.lost;
+  Alcotest.(check int) "no retries" 0 r.Slo.retried;
+  Alcotest.(check bool) "no degraded window" true (r.Slo.degraded = None);
+  Alcotest.(check bool) "positive throughput" true (r.Slo.throughput_mops > 0.);
+  Alcotest.(check bool) "latency quantiles ordered" true
+    (r.Slo.lat_p50_ns <= r.Slo.lat_p90_ns
+    && r.Slo.lat_p90_ns <= r.Slo.lat_p99_ns);
+  match Slo.check ~crash_expected:false r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_serve_crash_zero_lost_survivors_progress () =
+  let c =
+    {
+      (cfg ~shards:4 ~clients:4 ~ops:100 ~keys:128 ()) with
+      Store.crash = Some (Store.After_requests { victim = 2; requests = 130 });
+    }
+  in
+  let r = run_ok c in
+  Alcotest.(check int) "zero lost" 0 r.Slo.lost;
+  Alcotest.(check int) "all completed" 400 r.Slo.completed;
+  let victim = List.nth r.Slo.shards 2 in
+  Alcotest.(check bool) "victim crashed" true (victim.Slo.ss_crashes >= 1);
+  Alcotest.(check bool) "recovery duration recorded" true
+    (victim.Slo.ss_recovery_ns <> []);
+  (match r.Slo.degraded with
+  | None -> Alcotest.fail "no degraded window reported"
+  | Some d ->
+      Alcotest.(check int) "window around the victim" 2 d.Slo.dg_victim;
+      Alcotest.(check bool) "window has duration" true (d.Slo.dg_window_ns > 0.);
+      Alcotest.(check bool) "survivors completed requests during recovery"
+        true
+        (d.Slo.dg_survivor_completions > 0));
+  match Slo.check ~crash_expected:true r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* An At_dispatch crash that lands mid-operation: the interrupted request
+   must resolve through detectable recovery (recover op), exactly once. *)
+let test_inflight_request_recovered () =
+  let base = cfg ~ops:12 ~keys:16 () in
+  let rec find k =
+    if k > 150 then
+      Alcotest.fail "no dispatch point interrupted an in-flight request"
+    else
+      let c =
+        {
+          base with
+          Store.crash = Some (Store.At_dispatch { victim = 0; dispatch = k });
+        }
+      in
+      match Store.run c with
+      | Error e -> Alcotest.fail e
+      | Ok r when r.Slo.recovered >= 1 -> r
+      | Ok _ -> find (k + 1)
+  in
+  let r = find 1 in
+  Alcotest.(check int) "zero lost" 0 r.Slo.lost;
+  let victim = List.nth r.Slo.shards 0 in
+  Alcotest.(check bool) "victim recovered its in-flight request" true
+    (victim.Slo.ss_recovered >= 1)
+
+let test_batching_under_open_loop () =
+  let base = cfg ~shards:2 ~clients:4 ~ops:50 ~keys:64 () in
+  let open_cfg batch =
+    { base with Store.batch; open_loop_ns = Some 100. }
+  in
+  let r1 = run_ok (open_cfg 1) in
+  let r8 = run_ok (open_cfg 8) in
+  Alcotest.(check int) "batch=1 completes all" 200 r1.Slo.completed;
+  Alcotest.(check int) "batch=8 completes all" 200 r8.Slo.completed;
+  (* fast open-loop arrivals back the mailboxes up *)
+  let max_q r =
+    List.fold_left (fun m s -> max m s.Slo.ss_max_queue) 0 r.Slo.shards
+  in
+  Alcotest.(check bool) "queues actually built up" true (max_q r1 > 1);
+  (* batching drains backlog in gulps: the makespan must not be worse *)
+  Alcotest.(check bool) "batching is not slower" true
+    (r8.Slo.makespan_ns <= r1.Slo.makespan_ns)
+
+let test_run_deterministic_and_replayable () =
+  let c =
+    {
+      (cfg ()) with
+      Store.crash = Some (Store.After_requests { victim = 1; requests = 20 });
+    }
+  in
+  let sched = ref [] in
+  let r1 = ref None in
+  (match Store.run ~record:(fun s -> sched := s :: !sched) c with
+  | Ok r -> r1 := Some r
+  | Error e -> Alcotest.fail e);
+  let schedule = Array.of_list (List.rev !sched) in
+  Alcotest.(check bool) "schedule recorded" true (Array.length schedule > 0);
+  match Store.run ~schedule c with
+  | Error e -> Alcotest.fail e
+  | Ok r2 ->
+      Alcotest.(check int) "replay has no divergence" 0 r2.Slo.divergences;
+      let r1 = Option.get !r1 in
+      Alcotest.(check string) "identical report" (Slo.to_json r1)
+        (Slo.to_json { r2 with Slo.divergences = r1.Slo.divergences })
+
+let test_validate_rejects_bad_configs () =
+  let expect_err c =
+    match Store.run c with
+    | Error msg ->
+        Alcotest.(check bool) "store error class" true
+          (String.length msg >= 6 && String.sub msg 0 6 = "store:")
+    | Ok _ -> Alcotest.fail "invalid config accepted"
+  in
+  expect_err { (cfg ()) with Store.shards = 0 };
+  expect_err { (cfg ()) with Store.clients = 0 };
+  expect_err { (cfg ()) with Store.batch = 0 };
+  expect_err
+    {
+      (cfg ()) with
+      Store.crash = Some (Store.After_requests { victim = 7; requests = 5 });
+    };
+  expect_err { (cfg ()) with Store.clients = 40; shards = 30 }
+
+(* -- metrics wiring ------------------------------------------------------- *)
+
+let test_metrics_wiring () =
+  Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.disable ())
+    (fun () ->
+      let c =
+        {
+          (cfg ()) with
+          Store.crash =
+            Some (Store.After_requests { victim = 0; requests = 15 });
+        }
+      in
+      let r = run_ok c in
+      let total = c.Store.clients * c.Store.ops_per_client in
+      Alcotest.(check int) "no lost" 0 r.Slo.lost;
+      (match Metrics.hist_summary "store.request.latency" with
+      | None -> Alcotest.fail "latency histogram not registered"
+      | Some s ->
+          Alcotest.(check int) "one latency sample per request" total
+            s.Metrics.count);
+      let gauges = Metrics.gauges () in
+      List.iter
+        (fun sid ->
+          let name = Printf.sprintf "store.shard%d.queue_depth" sid in
+          Alcotest.(check bool) (name ^ " registered") true
+            (List.mem_assoc name gauges))
+        [ 0; 1 ])
+
+(* -- serve repro files ---------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "tracking-nvm-serve" ".tmp" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* The negative control: tracking-broken elides the new-node pwb, so a
+   shard crash inside the link-to-cleanup window leaves reachable
+   poisoned data.  The failure must save as a serve repro and replay to
+   the identical error. *)
+let broken_failure () =
+  let base = cfg ~algo:"tracking-broken" ~ops:12 ~keys:16 () in
+  let rec find k =
+    if k > 250 then Alcotest.fail "broken variant never failed"
+    else
+      let c =
+        {
+          base with
+          Store.crash = Some (Store.At_dispatch { victim = 0; dispatch = k });
+          wb = `All;
+        }
+      in
+      let sched = ref [] in
+      match Store.run ~record:(fun s -> sched := s :: !sched) c with
+      | Error error -> (c, error, Array.of_list (List.rev !sched))
+      | Ok _ -> find (k + 1)
+  in
+  find 1
+
+let test_store_repro_roundtrip () =
+  let c, error, schedule = broken_failure () in
+  let r = Store_repro.of_config c ~error ~schedule in
+  with_temp_file (fun path ->
+      Store_repro.save path r;
+      match Store_repro.load path with
+      | Error e -> Alcotest.fail ("load: " ^ e)
+      | Ok r' ->
+          Alcotest.(check string) "algo" "tracking-broken" r'.Store_repro.algo;
+          Alcotest.(check string) "error survives" error r'.Store_repro.error;
+          Alcotest.(check int) "schedule length" (Array.length schedule)
+            (Array.length r'.Store_repro.schedule);
+          Alcotest.(check bool) "crash plan survives" true
+            (r'.Store_repro.crash = c.Store.crash);
+          Alcotest.(check bool) "wb survives" true
+            (r'.Store_repro.wb = `All);
+          (match Store_repro.replay r' with
+          | Error e -> Alcotest.(check string) "replays to same failure" error e
+          | Ok () -> Alcotest.fail "saved serve repro did not reproduce"))
+
+let test_store_repro_rejects_garbage () =
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "not a serve repro\n");
+      match Store_repro.load path with
+      | Ok _ -> Alcotest.fail "accepted a garbage file"
+      | Error _ -> ());
+  let c, error, schedule = (cfg (), "synthetic", [||]) in
+  let r =
+    { (Store_repro.of_config c ~error ~schedule) with Store_repro.algo = "nope" }
+  in
+  match Store_repro.config_of r with
+  | Ok _ -> Alcotest.fail "unknown algo accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the algo" true
+        (String.length msg > 0)
+
+(* -- bounded crash-point exploration --------------------------------------- *)
+
+let test_explore_clean_on_tracking () =
+  let c = cfg ~ops:12 ~keys:16 () in
+  match Store.explore ~dispatch_budget:40 c with
+  | Error e -> Alcotest.fail e
+  | Ok st ->
+      Alcotest.(check int) "no failures" 0 st.Store.ex_failures;
+      Alcotest.(check bool) "crash points actually fired" true
+        (st.Store.ex_fired > 0);
+      Array.iteri
+        (fun sid d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d explored" sid)
+            true (d > 0))
+        st.Store.ex_max_dispatch
+
+let test_explore_catches_broken_variant () =
+  let c = cfg ~algo:"tracking-broken" ~ops:12 ~keys:16 () in
+  match Store.explore ~dispatch_budget:200 c with
+  | Error e -> Alcotest.fail e
+  | Ok st -> (
+      Alcotest.(check bool) "failures found" true (st.Store.ex_failures > 0);
+      (match st.Store.ex_first_failure with
+      | None -> Alcotest.fail "failures counted but none reported"
+      | Some msg ->
+          Alcotest.(check bool) "counterexample names its crash point" true
+            (String.length msg > 0));
+      (* the captured counterexample converts to a repro that replays
+         to the same bare error *)
+      match st.Store.ex_first_cex with
+      | None -> Alcotest.fail "failure reported but no counterexample captured"
+      | Some (cex, sched, bare) -> (
+          let r = Store_repro.of_config cex ~error:bare ~schedule:sched in
+          match Store_repro.replay r with
+          | Error e ->
+              Alcotest.(check string) "replay reproduces the bare error" bare e
+          | Ok () -> Alcotest.fail "counterexample replayed clean"))
+
+let suite =
+  [
+    Alcotest.test_case "router spreads keys" `Quick test_router_spreads_keys;
+    Alcotest.test_case "serve without crash" `Quick test_serve_no_crash;
+    Alcotest.test_case "crash of one shard loses nothing" `Quick
+      test_serve_crash_zero_lost_survivors_progress;
+    Alcotest.test_case "in-flight request detectably recovered" `Quick
+      test_inflight_request_recovered;
+    Alcotest.test_case "batching under open-loop arrivals" `Quick
+      test_batching_under_open_loop;
+    Alcotest.test_case "deterministic and schedule-replayable" `Quick
+      test_run_deterministic_and_replayable;
+    Alcotest.test_case "config validation" `Quick
+      test_validate_rejects_bad_configs;
+    Alcotest.test_case "metrics wiring" `Quick test_metrics_wiring;
+    Alcotest.test_case "serve repro round-trips and replays" `Quick
+      test_store_repro_roundtrip;
+    Alcotest.test_case "serve repro rejects garbage" `Quick
+      test_store_repro_rejects_garbage;
+    Alcotest.test_case "explore clean on tracking" `Quick
+      test_explore_clean_on_tracking;
+    Alcotest.test_case "explore catches the broken variant" `Quick
+      test_explore_catches_broken_variant;
+  ]
