@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke serve-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke
 
 build:
 	dune build
@@ -41,6 +41,28 @@ serve-smoke:
 	  --crash-shard 2 --check
 	dune exec bin/repro.exe -- serve --shards 2 --clients 2 --ops 12 \
 	  --keys 16 --explore --dispatch-budget 48
+
+# Parallel-driver smoke: the same small campaign suite at -j 1 and -j 2
+# must produce byte-identical reports — the determinism contract of the
+# domain fan-out driver (lib/harness/parallel.mli).  Progress lines are
+# pacing, not results, so they are filtered before comparison; repro
+# files and JSON exports are compared raw.
+parbench-smoke:
+	dune exec bin/repro.exe -- explore -a tracking -t 2 --ops 1 \
+	  --keys 4 --prefill 1 --preemptions 2 --crashes 1 --wb 2 --max-execs 0 \
+	  -j 1 | grep -v '^\[explore\]' > _build/parbench-explore-j1.txt
+	dune exec bin/repro.exe -- explore -a tracking -t 2 --ops 1 \
+	  --keys 4 --prefill 1 --preemptions 2 --crashes 1 --wb 2 --max-execs 0 \
+	  -j 2 | grep -v '^\[explore\]' > _build/parbench-explore-j2.txt
+	cmp _build/parbench-explore-j1.txt _build/parbench-explore-j2.txt
+	dune exec bin/repro.exe -- causal --quick -j 1 --json _build/parbench-causal-j1.json
+	dune exec bin/repro.exe -- causal --quick -j 2 --json _build/parbench-causal-j2.json
+	cmp _build/parbench-causal-j1.json _build/parbench-causal-j2.json
+	dune exec bin/repro.exe -- serve --shards 2 --clients 2 --ops 12 \
+	  --keys 16 --explore --dispatch-budget 48 -j 1 > _build/parbench-serve-j1.txt
+	dune exec bin/repro.exe -- serve --shards 2 --clients 2 --ops 12 \
+	  --keys 16 --explore --dispatch-budget 48 -j 2 > _build/parbench-serve-j2.txt
+	cmp _build/parbench-serve-j1.txt _build/parbench-serve-j2.txt
 
 clean:
 	dune clean

@@ -380,19 +380,168 @@ let run_extras ~quick =
         List.map (store_rate Set_intf.capsules_opt) shard_sweep );
     ]
 
+(* ---- wall-clock campaign suite (-j scaling) ---------------------------- *)
+
+(* A fixed trio of campaigns — bounded-exhaustive explore, quick causal
+   profile, store crash-point sweep — timed in real (host) seconds at
+   each requested -j and appended to BENCH_wallclock.json.  Every
+   campaign's *output* is byte-identical across -j values (the
+   test_parallel suite locks this), so the records measure pure driver
+   scaling.  Methodology: EXPERIMENTS.md, "Wall-clock methodology". *)
+
+let wallclock_explore ~jobs () =
+  let cfg =
+    Explore.
+      {
+        campaign =
+          Crashes.
+            {
+              factory = Set_intf.tracking;
+              threads = 2;
+              ops_per_thread = 2;
+              workload =
+                {
+                  Workload.(default update_intensive) with
+                  key_range = 8;
+                  prefill_n = 2;
+                };
+              max_crashes = 1;
+            };
+        seed = 0;
+        preemptions = 1;
+        crashes = 1;
+        wb_width = 1;
+        max_execs = 0;
+      }
+  in
+  let o = Explore.run ~stop_on_failure:false ~jobs cfg in
+  if not o.Explore.stats.Explore.complete then
+    failwith "wallclock explore: tree not exhausted";
+  Printf.sprintf "%d execs" o.Explore.stats.Explore.executions
+
+let wallclock_causal ~jobs () =
+  let cfg = Causal.quick_config Set_intf.tracking Workload.update_intensive in
+  let p = Causal.profile ~jobs cfg in
+  Printf.sprintf "%d rows" (List.length p.Causal.rows)
+
+let wallclock_store ~jobs () =
+  let cfg =
+    {
+      (Store.default_config Set_intf.tracking) with
+      Store.shards = 3;
+      clients = 3;
+      ops_per_client = 60;
+      workload =
+        {
+          Workload.(default update_intensive) with
+          key_range = 64;
+          prefill_n = 32;
+        };
+      seed = 1;
+    }
+  in
+  match Store.explore ~dispatch_budget:40 ~jobs cfg with
+  | Ok st -> Printf.sprintf "%d execs" st.Store.ex_executions
+  | Error msg -> failwith ("wallclock store: " ^ msg)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let note = f () in
+  (Unix.gettimeofday () -. t0, note)
+
+(* Append an entry to the JSON array in [path], creating it if absent.
+   The file stays a valid JSON array after every append. *)
+let append_json_entry path entry =
+  let existing =
+    if Sys.file_exists path then
+      In_channel.with_open_text path In_channel.input_all
+    else ""
+  in
+  let trimmed = String.trim existing in
+  Out_channel.with_open_text path (fun oc ->
+      if trimmed = "" || trimmed = "[]" then
+        Printf.fprintf oc "[\n%s\n]\n" entry
+      else begin
+        let upto =
+          match String.rindex_opt trimmed ']' with
+          | Some i -> String.trim (String.sub trimmed 0 i)
+          | None -> failwith (path ^ ": not a JSON array")
+        in
+        Printf.fprintf oc "%s,\n%s\n]\n" upto entry
+      end)
+
+let run_wallclock ~jobs_list ~out =
+  Printf.printf "== Wall-clock campaign suite ==\n%!";
+  let cores = Domain.recommended_domain_count () in
+  let date =
+    let t = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+      t.Unix.tm_sec
+  in
+  List.iter
+    (fun jobs ->
+      Printf.printf "  -j %d ...\n%!" jobs;
+      let explore_s, explore_note = timed (wallclock_explore ~jobs) in
+      Printf.printf "    explore: %7.3f s (%s)\n%!" explore_s explore_note;
+      let causal_s, causal_note = timed (wallclock_causal ~jobs) in
+      Printf.printf "    causal:  %7.3f s (%s)\n%!" causal_s causal_note;
+      let store_s, store_note = timed (wallclock_store ~jobs) in
+      Printf.printf "    store:   %7.3f s (%s)\n%!" store_s store_note;
+      let total = explore_s +. causal_s +. store_s in
+      Printf.printf "    total:   %7.3f s\n%!" total;
+      let entry =
+        Printf.sprintf
+          "  {\"date\": \"%s\", \"cores\": %d, \"ocaml\": \"%s\", \"jobs\": \
+           %d,\n\
+           \   \"explore_s\": %.3f, \"causal_s\": %.3f, \"store_s\": %.3f, \
+           \"total_s\": %.3f}"
+          date cores Sys.ocaml_version jobs explore_s causal_s store_s total
+      in
+      append_json_entry out entry;
+      Printf.printf "    appended to %s\n%!" out)
+    jobs_list
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let skip_bechamel = List.mem "--skip-bechamel" args in
   let skip_figures = List.mem "--skip-figures" args in
   let skip_extras = List.mem "--skip-extras" args in
-  if not skip_bechamel then run_bechamel ();
-  if not skip_figures then begin
-    let cfg =
-      if quick then Figures.quick_config
-      else { Figures.default_config with duration_ns = 200_000.; seeds = 2 }
+  let after_flag name =
+    let rec find = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
     in
-    Printf.printf "\n== Paper figures regenerated on the simulator ==\n%!";
-    Report.print_all cfg
-  end;
-  if not skip_extras then run_extras ~quick
+    find args
+  in
+  if List.mem "--wallclock" args then begin
+    let jobs_list =
+      match after_flag "-j" with
+      | None -> [ 1; 2; 4 ]
+      | Some s ->
+          List.map
+            (fun x ->
+              match int_of_string_opt (String.trim x) with
+              | Some n when n >= 1 -> n
+              | _ -> failwith ("bad -j list element: " ^ x))
+            (String.split_on_char ',' s)
+    in
+    let out =
+      Option.value (after_flag "--out") ~default:"BENCH_wallclock.json"
+    in
+    run_wallclock ~jobs_list ~out
+  end
+  else begin
+    if not skip_bechamel then run_bechamel ();
+    if not skip_figures then begin
+      let cfg =
+        if quick then Figures.quick_config
+        else { Figures.default_config with duration_ns = 200_000.; seeds = 2 }
+      in
+      Printf.printf "\n== Paper figures regenerated on the simulator ==\n%!";
+      Report.print_all cfg
+    end;
+    if not skip_extras then run_extras ~quick
+  end

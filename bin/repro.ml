@@ -43,6 +43,17 @@ let cfg_of_quick quick =
   if quick then Figures.quick_config
   else { Figures.default_config with duration_ns = 200_000.; seeds = 2 }
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the campaign across $(docv) domains (0 = one per core). \
+           Reported results and repro files are deterministic and \
+           byte-identical to -j 1; worker domains are not traced.")
+
+let resolve_jobs j = if j <= 0 then Parallel.default_jobs () else j
+
 (* -- figures ------------------------------------------------------------ *)
 
 let figure_ids =
@@ -245,11 +256,17 @@ let explore_cmd =
           ~doc:"On failure, save a replayable repro to $(docv).")
   in
   let run algo mix threads ops key_range prefill preemptions crashes wb
-      max_execs seed keep_going trace repro_file =
+      max_execs seed keep_going trace repro_file jobs =
     if algo.Set_intf.fname = "harris" then begin
       Format.printf "harris is volatile: it cannot recover from crashes@.";
       exit 1
     end;
+    let jobs = resolve_jobs jobs in
+    if jobs > 1 && trace <> None then
+      Format.eprintf
+        "note: -j %d traces only the calling domain (discovery execution); \
+         worker-domain executions are not traced@."
+        jobs;
     let cfg =
       Explore.
         {
@@ -276,7 +293,7 @@ let explore_cmd =
     in
     let go () =
       Explore.run ~stop_on_failure:(not keep_going)
-        ~progress:Report.explore_progress cfg
+        ~progress:Report.explore_progress ~jobs cfg
     in
     let o = match trace with Some p -> Trace.with_file p go | None -> go () in
     Format.printf "%a" Report.pp_explore o.Explore.stats;
@@ -300,7 +317,7 @@ let explore_cmd =
     Term.(
       const run $ algo $ mix $ threads $ ops $ key_range $ prefill
       $ preemptions $ crashes $ wb $ max_execs $ seed $ keep_going $ trace
-      $ repro_file)
+      $ repro_file $ jobs_arg)
 
 (* -- replay --------------------------------------------------------------- *)
 
@@ -578,7 +595,7 @@ let causal_cmd =
              psync sensitivity near zero).")
   in
   let run algo mix quick threads ops seed factors no_sites no_categories
-      mechanisms json csv check =
+      mechanisms json csv check jobs =
     let base =
       if quick then Causal.quick_config algo mix
       else Causal.default_config algo mix
@@ -600,7 +617,7 @@ let causal_cmd =
           | None -> base.Causal.mechanisms);
       }
     in
-    let p = Causal.profile cfg in
+    let p = Causal.profile ~jobs:(resolve_jobs jobs) cfg in
     (* --json - owns stdout; the table and "wrote" notices move aside. *)
     let notice = if json = Some "-" then Format.eprintf else Format.printf in
     if json <> Some "-" then Report.pp_causal Format.std_formatter p;
@@ -669,7 +686,7 @@ let causal_cmd =
           sensitivity.")
     Term.(
       const run $ algo $ mix $ quick $ threads $ ops $ seed $ factors
-      $ no_sites $ no_categories $ mechanisms $ json $ csv $ check)
+      $ no_sites $ no_categories $ mechanisms $ json $ csv $ check $ jobs_arg)
 
 (* -- trace (Perfetto export) ---------------------------------------------- *)
 
@@ -943,7 +960,7 @@ let serve_cmd =
   in
   let run algo mix shards clients ops batch key_range skew open_loop
       crash_shard crash_after wb restart_ns seed json check repro_file replay
-      trace explore dispatch_budget =
+      trace explore dispatch_budget jobs =
     match replay with
     | Some f -> serve_replay f
     | None -> (
@@ -995,7 +1012,9 @@ let serve_cmd =
           }
         in
         if explore then begin
-          let go () = Store.explore ~dispatch_budget cfg in
+          let go () =
+            Store.explore ~dispatch_budget ~jobs:(resolve_jobs jobs) cfg
+          in
           match (match trace with
                  | Some p -> Trace.with_file p go
                  | None -> go ())
@@ -1075,7 +1094,7 @@ let serve_cmd =
       const run $ algo $ mix $ shards $ clients $ ops $ batch $ key_range
       $ skew $ open_loop $ crash_shard $ crash_after $ wb $ restart_ns $ seed
       $ json $ check $ repro_file $ replay $ trace $ explore
-      $ dispatch_budget)
+      $ dispatch_budget $ jobs_arg)
 
 (* -- classify ------------------------------------------------------------- *)
 

@@ -64,16 +64,24 @@ let cleanup ops s d =
   Pmem.psync s.cleanup_sync
 
 (* Observability hook (see Harness.Metrics): called with the descriptor
-   owner's tid whenever another thread runs Help on its operation.  One
-   ref read when disabled; no protocol behaviour depends on it. *)
-let helped_hook : (int -> unit) option ref = ref None
+   owner's tid whenever another thread runs Help on its operation.
+   Domain-local, like every observability hook of the substrate; one
+   domain-local read when disabled, and no protocol behaviour depends on
+   it. *)
+let helped_hook : (int -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_helped_hook h = Domain.DLS.set helped_hook h
 
 let note_help d =
-  match !helped_hook with
+  match Domain.DLS.get helped_hook with
   | None -> ()
   | Some f ->
       let owner = Desc.owner d in
-      if owner >= 0 && Sim.in_sim () && Sim.tid () <> owner then f owner
+      if owner >= 0 then begin
+        let h = Sim.handle () in
+        if Sim.h_in_sim h && Sim.h_tid h <> owner then f owner
+      end
 
 (* Algorithm 2. *)
 let help ops s d =
@@ -166,7 +174,7 @@ let exec ops s h ~kind ~attempt =
      uncounted, and performed before any interruptible step so no crash can
      observe the invocation without the cleared check-point. *)
   Pmem.system_persist h.cp 0;
-  Sim.step Cost.current.op_overhead;
+  Sim.step (Cost.current ()).Cost.op_overhead;
   (match kind with
   | `Readonly -> ()
   | `Update ->

@@ -30,11 +30,12 @@ val help : 'n node_ops -> sites -> 'n Desc.t -> unit
     recovery after a crash in any phase (a descriptor whose result is set
     proceeds straight to cleanup). *)
 
-val helped_hook : (int -> unit) option ref
+val set_helped_hook : (int -> unit) option -> unit
 (** Observability hook (see [Harness.Metrics]): when set, called with the
     descriptor owner's tid whenever {!help} runs on behalf of {e another}
     thread's operation (the owner running its own phases, and recovery of
-    one's own descriptor, do not count).  One ref read when disabled. *)
+    one's own descriptor, do not count).  Domain-local; one domain-local
+    read when disabled. *)
 
 (** Result of one gather+analysis attempt, produced by the structure. *)
 type 'n attempt =

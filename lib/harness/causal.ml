@@ -133,7 +133,13 @@ let run_fixed ?schedule cfg =
        (Array.init cfg.threads (fun i -> body i))
    with
   | Sim.All_done -> ()
-  | Sim.Crashed_at _ -> assert false);
+  | Sim.Crashed_at step ->
+      failwith
+        (Printf.sprintf
+           "Causal.run_fixed: profiled run crashed at step %d (seed %d) — \
+            causal profiles replay crash-free executions, so no workload \
+            body may call Sim.request_crash"
+           step cfg.seed));
   (* A rerun that takes a different number of scheduling decisions than
      the tape holds is not the recorded execution either, even when no
      individual replay pick failed (extra or missing switch points shift
@@ -199,7 +205,7 @@ let kind_group = function
   | Pstats.Pfence -> "pfence"
   | Pstats.Psync -> "psync"
 
-let profile (cfg : config) =
+let profile ?(jobs = 1) (cfg : config) =
   if cfg.factors = [] then invalid_arg "Causal.profile: empty factor sweep";
   let total_ops = cfg.threads * cfg.ops_per_thread in
   (* 1. Baseline: record the schedule, then snapshot per-site statistics
@@ -272,19 +278,41 @@ let profile (cfg : config) =
         | _ -> non_baseline)
     | _ -> non_baseline
   in
+  (* Every (target, factor) rerun is independent — replayed against the
+     same recorded tape, scaling only domain-local cost state — so fan
+     the flat pair list across domains and reassemble rows in target
+     order.  Results are merged by work-item index, so the profile is
+     byte-identical at every [jobs] value. *)
+  let targets_arr = Array.of_list targets in
+  let pairs =
+    List.concat
+      (List.mapi
+         (fun ti (target, _, _, _, _) ->
+           List.map (fun f -> (ti, f)) (sweep_factors target))
+         targets)
+  in
+  let reruns =
+    Parallel.run ~jobs
+      (fun _ (ti, f) ->
+        let target, _, _, _, _ = targets_arr.(ti) in
+        let r = with_scaled [ (target, f) ] (fun () -> run_fixed ~schedule cfg) in
+        (r.makespan_ns, r.divergences))
+      (Array.of_list pairs)
+  in
+  let rerun_tbl = Hashtbl.create (Array.length reruns) in
+  List.iteri
+    (fun i (ti, f) -> Hashtbl.replace rerun_tbl (ti, f) reruns.(i))
+    pairs;
   let rows =
-    List.map
-      (fun (target, label, group, executions, time_share) ->
+    List.mapi
+      (fun ti (target, label, group, executions, time_share) ->
         let divergences = ref 0 in
         let points =
           List.map
             (fun f ->
-              let r =
-                with_scaled [ (target, f) ] (fun () ->
-                    run_fixed ~schedule cfg)
-              in
-              divergences := !divergences + r.divergences;
-              (f, r.makespan_ns /. float_of_int total_ops))
+              let makespan_ns, divs = Hashtbl.find rerun_tbl (ti, f) in
+              divergences := !divergences + divs;
+              (f, makespan_ns /. float_of_int total_ops))
             (sweep_factors target)
         in
         let points =

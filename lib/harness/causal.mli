@@ -137,9 +137,13 @@ type profile = {
   rows : row list;  (** ranked by [sensitivity], descending *)
 }
 
-val profile : config -> profile
+val profile : ?jobs:int -> config -> profile
 (** Run the full attribution: one recorded baseline plus
-    [|targets| × |factors|] replayed what-if runs. *)
+    [|targets| × |factors|] replayed what-if runs.  [jobs] (default 1)
+    fans the independent what-if reruns across domains
+    ({!Parallel.run}); results are merged by work-item index, so the
+    profile — and any CSV/JSON derived from it — is byte-identical at
+    every [jobs] value. *)
 
 val to_csv : profile -> string
 (** One row per target: rank, group, label, executions, time share,

@@ -215,7 +215,13 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
              pushed, so the log replays with the same NVM state *)
           (match !log with
           | rd :: rest -> log := { rd with Repro.wb } :: rest
-          | [] -> assert false);
+          | [] ->
+              failwith
+                (Printf.sprintf
+                   "Crashes.run_logged: crash ended round %d (seed %d) but \
+                    the round log is empty — every round's finalizer must \
+                    push its entry before the crash resolution is patched in"
+                   round seed));
           algo.Set_intf.recover_structure ();
           rounds ~kind:`Recover (round + 1) (Array.init cfg.threads recoverer)
   in

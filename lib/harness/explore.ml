@@ -82,7 +82,17 @@ let path_push p f =
   p.frames.(p.len) <- f;
   p.len <- p.len + 1
 
-let run ?(stop_on_failure = true) ?progress cfg =
+let copy_frame f = { chosen = f.chosen; untried = f.untried; fround = f.fround }
+
+(* One depth-first search over the subtree reachable from [path] without
+   ever flipping its pre-seeded frames (their untried lists are empty;
+   backtracking pops them and runs dry).  [resume] means the path was
+   already executed once by the caller (the discovery execution of a
+   parallel run): start by backtracking instead of re-executing it.
+   [grant] asks for permission to run one more execution — the local
+   budget check at [jobs = 1], one shared atomic decrement per execution
+   across the pool at [jobs > 1]. *)
+let search ?(stop_on_failure = true) ?progress ~grant ~resume path cfg =
   let executions = ref 0 in
   let failures = ref 0 in
   let decision_points = ref 0 in
@@ -90,7 +100,6 @@ let run ?(stop_on_failure = true) ?progress cfg =
   let wb_choices = ref 0 in
   let pruned = ref 0 in
   let complete = ref false in
-  let path = path_create () in
   let first_failure = ref None in
   let snapshot () =
     {
@@ -240,6 +249,14 @@ let run ?(stop_on_failure = true) ?progress cfg =
     pop ()
   in
   let continue = ref true in
+  if resume then begin
+    (* the caller already executed (and backfilled) this path once *)
+    if not (grant !executions) then continue := false
+    else if not (backtrack ()) then begin
+      complete := true;
+      continue := false
+    end
+  end;
   while !continue do
     incr executions;
     let result, rounds, fresh_from = exec_once () in
@@ -254,7 +271,7 @@ let run ?(stop_on_failure = true) ?progress cfg =
         if stop_on_failure then continue := false
     | Ok _ -> ());
     if !continue then begin
-      if cfg.max_execs > 0 && !executions >= cfg.max_execs then
+      if not (grant !executions) then
         continue := false (* budget exhausted: tree incomplete *)
       else if not (backtrack ()) then begin
         complete := true;
@@ -267,3 +284,146 @@ let run ?(stop_on_failure = true) ?progress cfg =
      enumeration is complete only when backtracking ran dry. *)
   report ();
   { stats = snapshot (); failure = !first_failure }
+
+(* ---- parallel fan-out --------------------------------------------------- *)
+
+(* The decision tree is partitioned at its {e shallowest} frame with
+   untried alternatives, discovered by running the all-defaults execution
+   once on the calling domain: work item 0 continues the discovery path
+   with that frame's alternatives removed (it owns the default subtree),
+   and item [k] pins the frame to its [k]-th alternative over the same
+   forced prefix.  Because the sequential explorer backtracks deepest
+   frame first, it enumerates exactly item 0's subtree first, then each
+   pinned subtree in alternative order — so merging by work-item index
+   (Parallel's contract) reproduces the sequential visit order: summed
+   stats match an exhausted sequential run, and the lowest-indexed
+   failure {e is} the sequential first failure, making repro files
+   bit-identical across [-j] values. *)
+
+let zero_stats =
+  {
+    executions = 0;
+    failures = 0;
+    decision_points = 0;
+    crash_points = 0;
+    wb_choices = 0;
+    pruned = 0;
+    complete = false;
+  }
+
+let sum_stats a b =
+  {
+    executions = a.executions + b.executions;
+    failures = a.failures + b.failures;
+    decision_points = a.decision_points + b.decision_points;
+    crash_points = a.crash_points + b.crash_points;
+    wb_choices = a.wb_choices + b.wb_choices;
+    pruned = a.pruned + b.pruned;
+    complete = a.complete && b.complete;
+  }
+
+let run ?(stop_on_failure = true) ?progress ?(jobs = 1) cfg =
+  if jobs <= 1 then begin
+    let grant e = not (cfg.max_execs > 0 && e >= cfg.max_execs) in
+    search ~stop_on_failure ?progress ~grant ~resume:false (path_create ()) cfg
+  end
+  else begin
+    (* Discovery: one all-defaults execution on the calling domain, as a
+       1-execution budget search so stats and backfill run the standard
+       code path. *)
+    let discovery_path = path_create () in
+    let discovery =
+      search ~stop_on_failure ?progress:None
+        ~grant:(fun _ -> false)
+        ~resume:false discovery_path cfg
+    in
+    let over_budget = cfg.max_execs > 0 && cfg.max_execs <= 1 in
+    (* shallowest frame with alternatives = the partition point *)
+    let split = ref (-1) in
+    (try
+       for i = 0 to discovery_path.len - 1 do
+         if discovery_path.frames.(i).untried <> [] then begin
+           split := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let j = !split in
+    if (stop_on_failure && discovery.failure <> None) || over_budget || j < 0
+    then begin
+      (* Nothing to fan out: the discovery execution failed (and we stop
+         on failure), the budget is spent, or the tree had a single
+         execution — in which case the enumeration is complete. *)
+      let complete =
+        j < 0 && (not over_budget)
+        && not (stop_on_failure && discovery.failure <> None)
+      in
+      let stats = { discovery.stats with complete } in
+      (match progress with None -> () | Some f -> f stats);
+      { discovery with stats }
+    end
+    else begin
+      let pivot = discovery_path.frames.(j) in
+      let alts = pivot.untried in
+      pivot.untried <- [];
+      (* Shared execution budget: discovery consumed one. *)
+      let remaining = Atomic.make (cfg.max_execs - 1) in
+      let grant _ =
+        cfg.max_execs = 0 || Atomic.fetch_and_add remaining (-1) > 0
+      in
+      let prefix =
+        Array.init j (fun i -> copy_frame discovery_path.frames.(i))
+      in
+      let items =
+        Array.of_list
+          (`Continue
+          :: List.map (fun alt -> `Pinned alt) alts)
+      in
+      let outcomes =
+        Parallel.run ~jobs
+          (fun _ item ->
+            match item with
+            | `Continue ->
+                search ~stop_on_failure ?progress:None ~grant ~resume:true
+                  discovery_path cfg
+            | `Pinned alt ->
+                (* a pinned item's first execution is not the free
+                   discovery one — it must claim budget like any other *)
+                if not (grant 0) then { stats = zero_stats; failure = None }
+                else begin
+                  let path = path_create () in
+                  Array.iter (fun f -> path_push path (copy_frame f)) prefix;
+                  path_push path
+                    { chosen = alt; untried = []; fround = pivot.fround };
+                  search ~stop_on_failure ?progress:None ~grant ~resume:false
+                    path cfg
+                end)
+          items
+      in
+      let stats =
+        Array.fold_left
+          (fun acc o -> sum_stats acc o.stats)
+          { discovery.stats with complete = true }
+          outcomes
+      in
+      let failure =
+        match discovery.failure with
+        | Some _ as f -> f
+        | None -> (
+            match
+              Parallel.first_failure (fun o -> o.failure <> None) outcomes
+            with
+            | Some (_, o) -> o.failure
+            | None -> None)
+      in
+      (* Sequential semantics: a failure that stopped the search leaves
+         the enumeration incomplete even if every fanned subtree happened
+         to run dry. *)
+      let complete =
+        stats.complete && not (stop_on_failure && failure <> None)
+      in
+      let stats = { stats with complete } in
+      (match progress with None -> () | Some f -> f stats);
+      { stats; failure }
+    end
+  end

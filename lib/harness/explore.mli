@@ -54,8 +54,26 @@ type outcome = {
 }
 
 val run :
-  ?stop_on_failure:bool -> ?progress:(stats -> unit) -> config -> outcome
+  ?stop_on_failure:bool ->
+  ?progress:(stats -> unit) ->
+  ?jobs:int ->
+  config ->
+  outcome
 (** Explore the bounded tree.  [stop_on_failure] (default [true]) stops
     at the first violation; with [false] the search continues and counts
     further failures (the returned repro is still the first).
-    [progress] is invoked every 500 executions and once at the end. *)
+    [progress] is invoked every 500 executions and once at the end.
+
+    [jobs] (default 1) fans the search across domains
+    ({!Parallel.run}): after one discovery execution on the calling
+    domain, the tree is partitioned at its shallowest decision with
+    untried alternatives and each alternative's subtree is searched
+    independently.  Because subtrees are merged in the order the
+    sequential explorer would visit them, an exhausted search returns
+    the same stats and the same first counterexample (hence bit-identical
+    repro files) at every [jobs] value.  Divergences at [jobs > 1]:
+    [progress] fires only once at the end with the merged stats, and
+    when [stop_on_failure] or [max_execs] cuts the search short the
+    execution counts reflect the pool's own stopping points (still
+    deterministic in the reported failure, not in the counts).  Worker
+    domains are not observed by the calling domain's [Trace]/[Metrics]. *)

@@ -1,20 +1,18 @@
 (* Operation-level metrics over the Sim/Pmem observability hooks.
 
    Same zero-cost-when-off discipline as Trace: every entry point is
-   guarded by one ref read, no virtual time is charged, no RNG draws are
-   consumed, so enabling metrics can never perturb a simulated execution
-   (test_repro locks the analogous property for the tracer).
+   guarded by one domain-local read, no virtual time is charged, no RNG
+   draws are consumed, so enabling metrics can never perturb a simulated
+   execution (test_repro locks the analogous property for the tracer).
+
+   The whole registry — instruments, spans, contention and recovery
+   profiles, and the enabled flag itself — is domain-local: concurrent
+   campaigns on separate domains (Harness.Parallel) record independently
+   and cannot observe each other's instruments.  Handles returned by
+   {!counter}/{!gauge}/{!histogram} belong to the domain that created
+   them.
 
    All durations are virtual nanoseconds on the per-thread Sim clocks. *)
-
-let enabled = ref false
-let active () = !enabled
-
-(* Total volume of recorded data; the disabled-path test asserts this
-   stays 0 across a whole campaign when metrics are off. *)
-let events = ref 0
-
-(* ---- registry (same name->entry idiom as Pstats sites) ---------------- *)
 
 type counter = { c_name : string; mutable c : int }
 type gauge = { g_name : string; mutable g : float }
@@ -28,32 +26,67 @@ type histogram = {
   mutable hmax : float;
 }
 
+type span = {
+  sp_tid : int;
+  sp_kind : string;
+  sp_key : int;
+  sp_begin : float;
+  sp_end : float;
+  sp_ok : bool;
+  sp_cas_failures : int;
+  sp_helped : bool;
+}
+
+type centry = {
+  ce_line : string;
+  mutable ce_fails : int;
+  mutable ce_invals : int;
+}
+
 let n_buckets = 256
+let max_t = Pmem.max_threads
 
-let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 16
-let counters_rev : counter list ref = ref []
-let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let gauges_rev : gauge list ref = ref []
-let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let hists_rev : histogram list ref = ref []
+(* Span storage is capped so long metric-enabled sweeps stay bounded;
+   the histograms keep counting past the cap. *)
+let max_spans = 200_000
 
-let counter name =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c = 0 } in
-      Hashtbl.add counters_tbl name c;
-      counters_rev := c :: !counters_rev;
-      c
-
-let gauge name =
-  match Hashtbl.find_opt gauges_tbl name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g = 0. } in
-      Hashtbl.add gauges_tbl name g;
-      gauges_rev := g :: !gauges_rev;
-      g
+type state = {
+  mutable enabled : bool;
+  (* Total volume of recorded data; the disabled-path test asserts this
+     stays 0 across a whole campaign when metrics are off. *)
+  mutable events : int;
+  counters_tbl : (string, counter) Hashtbl.t;
+  mutable counters_rev : counter list;
+  gauges_tbl : (string, gauge) Hashtbl.t;
+  mutable gauges_rev : gauge list;
+  hists_tbl : (string, histogram) Hashtbl.t;
+  mutable hists_rev : histogram list;
+  (* well-known instruments *)
+  h_op : histogram;
+  h_insert : histogram;
+  h_delete : histogram;
+  h_find : histogram;
+  h_recover : histogram;
+  h_recovery_round : histogram;
+  c_completed : counter;
+  c_helped : counter;
+  c_cas_failed : counter;
+  g_recovery_last : gauge;
+  (* in-flight span per thread; cur_kind = "" means none open *)
+  cur_kind : string array;
+  cur_key : int array;
+  cur_begin : float array;
+  cur_cas0 : int array;
+  cur_helped : bool array;
+  (* failed CASes per thread, maintained by the Pmem collector *)
+  cas_fails : int array;
+  mutable spans_rev : span list;
+  mutable n_spans : int;
+  mutable sp_dropped : int;
+  contention_tbl : (string, centry) Hashtbl.t;
+  mutable recovery_cur : float;
+  mutable recovery_rev : (int * float) list;
+}
 
 let fresh_hist name =
   {
@@ -65,28 +98,116 @@ let fresh_hist name =
     hmax = neg_infinity;
   }
 
-let histogram name =
-  match Hashtbl.find_opt hists_tbl name with
+let register_counter st name =
+  match Hashtbl.find_opt st.counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      Hashtbl.add st.counters_tbl name c;
+      st.counters_rev <- c :: st.counters_rev;
+      c
+
+let register_gauge st name =
+  match Hashtbl.find_opt st.gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g = 0. } in
+      Hashtbl.add st.gauges_tbl name g;
+      st.gauges_rev <- g :: st.gauges_rev;
+      g
+
+let register_hist st name =
+  match Hashtbl.find_opt st.hists_tbl name with
   | Some h -> h
   | None ->
       let h = fresh_hist name in
-      Hashtbl.add hists_tbl name h;
-      hists_rev := h :: !hists_rev;
+      Hashtbl.add st.hists_tbl name h;
+      st.hists_rev <- h :: st.hists_rev;
       h
 
+let fresh_state () =
+  let st =
+    {
+      enabled = false;
+      events = 0;
+      counters_tbl = Hashtbl.create 16;
+      counters_rev = [];
+      gauges_tbl = Hashtbl.create 16;
+      gauges_rev = [];
+      hists_tbl = Hashtbl.create 16;
+      hists_rev = [];
+      h_op = fresh_hist "op";
+      h_insert = fresh_hist "op.insert";
+      h_delete = fresh_hist "op.delete";
+      h_find = fresh_hist "op.find";
+      h_recover = fresh_hist "op.recover";
+      h_recovery_round = fresh_hist "recovery.round";
+      c_completed = { c_name = "ops.completed"; c = 0 };
+      c_helped = { c_name = "ops.helped"; c = 0 };
+      c_cas_failed = { c_name = "ops.with_cas_failure"; c = 0 };
+      g_recovery_last = { g_name = "recovery.last_ns"; g = 0. };
+      cur_kind = Array.make max_t "";
+      cur_key = Array.make max_t 0;
+      cur_begin = Array.make max_t 0.;
+      cur_cas0 = Array.make max_t 0;
+      cur_helped = Array.make max_t false;
+      cas_fails = Array.make max_t 0;
+      spans_rev = [];
+      n_spans = 0;
+      sp_dropped = 0;
+      contention_tbl = Hashtbl.create 64;
+      recovery_cur = 0.;
+      recovery_rev = [];
+    }
+  in
+  (* The well-known instruments are ordinary registry entries, just
+     pre-registered so their registration order is stable. *)
+  let reg_h h =
+    Hashtbl.add st.hists_tbl h.h_name h;
+    st.hists_rev <- h :: st.hists_rev
+  in
+  let reg_c c =
+    Hashtbl.add st.counters_tbl c.c_name c;
+    st.counters_rev <- c :: st.counters_rev
+  in
+  reg_h st.h_op;
+  reg_h st.h_insert;
+  reg_h st.h_delete;
+  reg_h st.h_find;
+  reg_h st.h_recover;
+  reg_h st.h_recovery_round;
+  reg_c st.c_completed;
+  reg_c st.c_helped;
+  reg_c st.c_cas_failed;
+  Hashtbl.add st.gauges_tbl st.g_recovery_last.g_name st.g_recovery_last;
+  st.gauges_rev <- st.g_recovery_last :: st.gauges_rev;
+  st
+
+let dls : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+let state () = Domain.DLS.get dls
+let active () = (state ()).enabled
+
+(* ---- registry (same name->entry idiom as Pstats sites) ---------------- *)
+
+let counter name = register_counter (state ()) name
+let gauge name = register_gauge (state ()) name
+let histogram name = register_hist (state ()) name
+
 let incr_by c k =
-  if !enabled then begin
+  let st = state () in
+  if st.enabled then begin
     c.c <- c.c + k;
-    incr events
+    st.events <- st.events + 1
   end
 
 let incr c = incr_by c 1
 let count c = c.c
 
 let set_gauge g v =
-  if !enabled then begin
+  let st = state () in
+  if st.enabled then begin
     g.g <- v;
-    events := !events + 1
+    st.events <- st.events + 1
   end
 
 let gauge_value g = g.g
@@ -109,7 +230,8 @@ let rep_of i =
   if i = 0 then 1. else Float.exp2 ((float_of_int i -. 0.5) /. buckets_per_octave)
 
 let observe h v =
-  if !enabled then begin
+  let st = state () in
+  if st.enabled then begin
     let v = if Float.is_nan v || v < 0. then 0. else v in
     let b = bucket_of v in
     h.buckets.(b) <- h.buckets.(b) + 1;
@@ -117,7 +239,7 @@ let observe h v =
     h.sum <- h.sum +. v;
     if v < h.hmin then h.hmin <- v;
     if v > h.hmax then h.hmax <- v;
-    events := !events + 1
+    st.events <- st.events + 1
   end
 
 (* Nearest-rank: quantile q is the value of rank ceil(q*n), 1-based. *)
@@ -160,74 +282,33 @@ let summary h =
   }
 
 let hist_summary name =
-  Option.map summary (Hashtbl.find_opt hists_tbl name)
+  Option.map summary (Hashtbl.find_opt (state ()).hists_tbl name)
 
-let histograms () = List.rev_map (fun h -> (h.h_name, summary h)) !hists_rev
-let counters () = List.rev_map (fun c -> (c.c_name, c.c)) !counters_rev
-let gauges () = List.rev_map (fun g -> (g.g_name, g.g)) !gauges_rev
+let histograms () =
+  List.rev_map (fun h -> (h.h_name, summary h)) (state ()).hists_rev
 
-(* ---- well-known instruments ------------------------------------------- *)
+let counters () = List.rev_map (fun c -> (c.c_name, c.c)) (state ()).counters_rev
+let gauges () = List.rev_map (fun g -> (g.g_name, g.g)) (state ()).gauges_rev
 
-let h_op = histogram "op"
-let h_insert = histogram "op.insert"
-let h_delete = histogram "op.delete"
-let h_find = histogram "op.find"
-let h_recover = histogram "op.recover"
-let h_recovery_round = histogram "recovery.round"
-let c_completed = counter "ops.completed"
-let c_helped = counter "ops.helped"
-let c_cas_failed = counter "ops.with_cas_failure"
-let g_recovery_last = gauge "recovery.last_ns"
-
-let hist_for_kind = function
-  | "insert" -> h_insert
-  | "delete" -> h_delete
-  | "find" -> h_find
-  | "recover" -> h_recover
-  | k -> histogram ("op." ^ k)
+let hist_for_kind st = function
+  | "insert" -> st.h_insert
+  | "delete" -> st.h_delete
+  | "find" -> st.h_find
+  | "recover" -> st.h_recover
+  | k -> register_hist st ("op." ^ k)
 
 (* ---- operation spans --------------------------------------------------- *)
 
-type span = {
-  sp_tid : int;
-  sp_kind : string;
-  sp_key : int;
-  sp_begin : float;
-  sp_end : float;
-  sp_ok : bool;
-  sp_cas_failures : int;
-  sp_helped : bool;
-}
-
-let max_t = Pmem.max_threads
-
-(* In-flight span per thread; cur_kind = "" means none open. *)
-let cur_kind = Array.make max_t ""
-let cur_key = Array.make max_t 0
-let cur_begin = Array.make max_t 0.
-let cur_cas0 = Array.make max_t 0
-let cur_helped = Array.make max_t false
-
-(* Failed CASes per thread, maintained by the Pmem collector. *)
-let cas_fails = Array.make max_t 0
-
-(* Span storage is capped so long metric-enabled sweeps stay bounded;
-   the histograms keep counting past the cap. *)
-let max_spans = 200_000
-let spans_rev : span list ref = ref []
-let n_spans = ref 0
-let sp_dropped = ref 0
-
-let push_span sp =
-  if !n_spans >= max_spans then sp_dropped := !sp_dropped + 1
+let push_span st sp =
+  if st.n_spans >= max_spans then st.sp_dropped <- st.sp_dropped + 1
   else begin
-    spans_rev := sp :: !spans_rev;
-    n_spans := !n_spans + 1
+    st.spans_rev <- sp :: st.spans_rev;
+    st.n_spans <- st.n_spans + 1
   end;
-  events := !events + 1
+  st.events <- st.events + 1
 
-let spans () = List.rev !spans_rev
-let spans_dropped () = !sp_dropped
+let spans () = List.rev (state ()).spans_rev
+let spans_dropped () = (state ()).sp_dropped
 
 let vtid () = if Sim.in_sim () then Sim.tid () else 0
 let vnow () = if Sim.in_sim () then Sim.now () else 0.
@@ -238,48 +319,50 @@ let kind_of_op = function
   | Set_intf.Fnd _ -> "find"
 
 let op_begin ~kind ~key =
-  if !enabled || Trace.active () then begin
+  let st = state () in
+  if st.enabled || Trace.active () then begin
     let tid = vtid () in
     if tid >= 0 && tid < max_t then begin
       let clock = vnow () in
-      cur_kind.(tid) <- kind;
-      cur_key.(tid) <- key;
-      cur_begin.(tid) <- clock;
-      cur_cas0.(tid) <- cas_fails.(tid);
-      cur_helped.(tid) <- false;
+      st.cur_kind.(tid) <- kind;
+      st.cur_key.(tid) <- key;
+      st.cur_begin.(tid) <- clock;
+      st.cur_cas0.(tid) <- st.cas_fails.(tid);
+      st.cur_helped.(tid) <- false;
       Trace.op_begin ~tid ~kind ~key ~clock
     end
   end
 
 let op_end ~ok =
-  if !enabled || Trace.active () then begin
+  let st = state () in
+  if st.enabled || Trace.active () then begin
     let tid = vtid () in
-    if tid >= 0 && tid < max_t && cur_kind.(tid) <> "" then begin
+    if tid >= 0 && tid < max_t && st.cur_kind.(tid) <> "" then begin
       let clock = vnow () in
-      let kind = cur_kind.(tid) in
-      let cas_failures = cas_fails.(tid) - cur_cas0.(tid) in
-      let helped = cur_helped.(tid) in
+      let kind = st.cur_kind.(tid) in
+      let cas_failures = st.cas_fails.(tid) - st.cur_cas0.(tid) in
+      let helped = st.cur_helped.(tid) in
       Trace.op_end ~tid ~ok ~cas_failures ~helped ~clock;
-      if !enabled then begin
-        let dur = Float.max 0. (clock -. cur_begin.(tid)) in
-        observe h_op dur;
-        observe (hist_for_kind kind) dur;
-        incr c_completed;
-        if helped then incr c_helped;
-        if cas_failures > 0 then incr c_cas_failed;
-        push_span
+      if st.enabled then begin
+        let dur = Float.max 0. (clock -. st.cur_begin.(tid)) in
+        observe st.h_op dur;
+        observe (hist_for_kind st kind) dur;
+        incr st.c_completed;
+        if helped then incr st.c_helped;
+        if cas_failures > 0 then incr st.c_cas_failed;
+        push_span st
           {
             sp_tid = tid;
             sp_kind = kind;
-            sp_key = cur_key.(tid);
-            sp_begin = cur_begin.(tid);
+            sp_key = st.cur_key.(tid);
+            sp_begin = st.cur_begin.(tid);
             sp_end = clock;
             sp_ok = ok;
             sp_cas_failures = cas_failures;
             sp_helped = helped;
           }
       end;
-      cur_kind.(tid) <- ""
+      st.cur_kind.(tid) <- ""
     end
   end
 
@@ -291,29 +374,22 @@ type contention = {
   ct_invalidations : int;
 }
 
-type centry = {
-  ce_line : string;
-  mutable ce_fails : int;
-  mutable ce_invals : int;
-}
-
-let contention_tbl : (string, centry) Hashtbl.t = Hashtbl.create 64
-
-let bump line ~fails ~invals =
+let bump st line ~fails ~invals =
   let e =
-    match Hashtbl.find_opt contention_tbl line with
+    match Hashtbl.find_opt st.contention_tbl line with
     | Some e -> e
     | None ->
         let e = { ce_line = line; ce_fails = 0; ce_invals = 0 } in
-        Hashtbl.add contention_tbl line e;
+        Hashtbl.add st.contention_tbl line e;
         e
   in
   e.ce_fails <- e.ce_fails + fails;
   e.ce_invals <- e.ce_invals + invals;
-  events := !events + 1
+  st.events <- st.events + 1
 
 let contention_top n =
-  let all = Hashtbl.fold (fun _ e acc -> e :: acc) contention_tbl [] in
+  let st = state () in
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) st.contention_tbl [] in
   let all =
     List.sort
       (fun a b ->
@@ -335,53 +411,59 @@ let contention_top n =
 (* Only installed while enabled, so no per-event guard is needed here. *)
 let on_pmem_event : Pmem.trace_event -> unit = function
   | Pmem.Cas { tid; line; success; invalidated } ->
+      let st = state () in
       if not success then begin
-        if tid >= 0 && tid < max_t then cas_fails.(tid) <- cas_fails.(tid) + 1;
-        bump line ~fails:1 ~invals:invalidated
+        if tid >= 0 && tid < max_t then
+          st.cas_fails.(tid) <- st.cas_fails.(tid) + 1;
+        bump st line ~fails:1 ~invals:invalidated
       end
-      else if invalidated > 0 then bump line ~fails:0 ~invals:invalidated
+      else if invalidated > 0 then bump st line ~fails:0 ~invals:invalidated
   | Pmem.Write { line; invalidated; _ } ->
-      if invalidated > 0 then bump line ~fails:0 ~invals:invalidated
+      if invalidated > 0 then
+        let st = state () in
+        bump st line ~fails:0 ~invals:invalidated
   | Pmem.Read _ | Pmem.Pwb _ | Pmem.Pfence _ | Pmem.Psync _ -> ()
 
 let on_helped owner =
-  if owner >= 0 && owner < max_t then cur_helped.(owner) <- true
+  if owner >= 0 && owner < max_t then (state ()).cur_helped.(owner) <- true
 
 (* ---- recovery profile -------------------------------------------------- *)
 
-let recovery_cur = ref 0.
-let recovery_rev : (int * float) list ref = ref []
-
 let recovery_thread_done () =
-  if !enabled then recovery_cur := Float.max !recovery_cur (vnow ())
+  let st = state () in
+  if st.enabled then st.recovery_cur <- Float.max st.recovery_cur (vnow ())
 
 let recovery_round_done round =
-  if !enabled then begin
-    recovery_rev := (round, !recovery_cur) :: !recovery_rev;
-    observe h_recovery_round !recovery_cur;
-    set_gauge g_recovery_last !recovery_cur;
-    recovery_cur := 0.
+  let st = state () in
+  if st.enabled then begin
+    st.recovery_rev <- (round, st.recovery_cur) :: st.recovery_rev;
+    observe st.h_recovery_round st.recovery_cur;
+    set_gauge st.g_recovery_last st.recovery_cur;
+    st.recovery_cur <- 0.
   end
 
-let recovery_durations () = List.rev !recovery_rev
+let recovery_durations () = List.rev (state ()).recovery_rev
 
 (* ---- lifecycle --------------------------------------------------------- *)
 
 let enable () =
-  if not !enabled then begin
-    enabled := true;
-    Pmem.collector := Some on_pmem_event;
-    Tracking.helped_hook := Some on_helped
+  let st = state () in
+  if not st.enabled then begin
+    st.enabled <- true;
+    Pmem.set_collector (Some on_pmem_event);
+    Tracking.set_helped_hook (Some on_helped)
   end
 
 let disable () =
-  if !enabled then begin
-    enabled := false;
-    Pmem.collector := None;
-    Tracking.helped_hook := None
+  let st = state () in
+  if st.enabled then begin
+    st.enabled <- false;
+    Pmem.set_collector None;
+    Tracking.set_helped_hook None
   end
 
 let reset () =
+  let st = state () in
   List.iter
     (fun h ->
       Array.fill h.buckets 0 n_buckets 0;
@@ -389,19 +471,19 @@ let reset () =
       h.sum <- 0.;
       h.hmin <- infinity;
       h.hmax <- neg_infinity)
-    !hists_rev;
-  List.iter (fun c -> c.c <- 0) !counters_rev;
-  List.iter (fun g -> g.g <- 0.) !gauges_rev;
-  Hashtbl.reset contention_tbl;
-  spans_rev := [];
-  n_spans := 0;
-  sp_dropped := 0;
-  Array.fill cur_kind 0 max_t "";
-  Array.fill cur_helped 0 max_t false;
-  Array.fill cas_fails 0 max_t 0;
-  Array.fill cur_cas0 0 max_t 0;
-  recovery_cur := 0.;
-  recovery_rev := [];
-  events := 0
+    st.hists_rev;
+  List.iter (fun c -> c.c <- 0) st.counters_rev;
+  List.iter (fun g -> g.g <- 0.) st.gauges_rev;
+  Hashtbl.reset st.contention_tbl;
+  st.spans_rev <- [];
+  st.n_spans <- 0;
+  st.sp_dropped <- 0;
+  Array.fill st.cur_kind 0 max_t "";
+  Array.fill st.cur_helped 0 max_t false;
+  Array.fill st.cas_fails 0 max_t 0;
+  Array.fill st.cur_cas0 0 max_t 0;
+  st.recovery_cur <- 0.;
+  st.recovery_rev <- [];
+  st.events <- 0
 
-let events_recorded () = !events
+let events_recorded () = (state ()).events

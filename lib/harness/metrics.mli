@@ -1,7 +1,12 @@
 (** Operation-level metrics over the [Sim]/[Pmem] observability hooks.
 
-    A process-wide registry of counters, gauges and log-bucketed
-    virtual-time histograms, plus three derived profiles:
+    A {e domain-local} registry of counters, gauges and log-bucketed
+    virtual-time histograms, plus three derived profiles.  Like every
+    observability surface of the substrate (Trace sink, Pmem hooks),
+    metrics state belongs to the calling domain: concurrent campaigns on
+    separate domains ([Harness.Parallel]) record independently, and the
+    worker domains of a [-j] run are not observed by the main domain's
+    instruments.  The derived profiles:
 
     - {e operation spans}: begin/end instrumentation around every
       [Set_intf] operation (installed by [Runner] and [Crashes]), tagged

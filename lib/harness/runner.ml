@@ -45,7 +45,13 @@ let measure ?(duration_ns = 400_000.) ?(seed = 1) ?(prepare = fun () -> ())
   in
   (match Sim.run ~policy:`Perf ~seed (Array.init threads (fun i -> body i)) with
   | Sim.All_done -> ()
-  | Sim.Crashed_at _ -> assert false);
+  | Sim.Crashed_at step ->
+      failwith
+        (Printf.sprintf
+           "Runner: throughput run crashed at step %d (seed %d) — \
+            throughput runs configure no crash point, so no workload body \
+            may call Sim.request_crash"
+           step seed));
   let total_ops = Array.fold_left ( + ) 0 ops in
   let lat = if Metrics.active () then Metrics.hist_summary "op" else None in
   let t = Pstats.totals () in

@@ -6,9 +6,16 @@
    sync.  When no trace is active the hooks are [None] and the
    instrumented fast paths pay a single ref read. *)
 
-let sink : out_channel option ref = ref None
+(* The sink is domain-local, like the Sim/Pmem hooks it installs:
+   tracing on one domain never observes (or interleaves with) runs on
+   another.  Worker domains of a parallel campaign trace nothing unless
+   they install their own sink. *)
+let sink : out_channel option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let active () = !sink <> None
+let get_sink () = Domain.DLS.get sink
+let set_sink v = Domain.DLS.set sink v
+
+let active () = get_sink () <> None
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -28,7 +35,7 @@ let escape s =
 let emit fmt =
   Printf.ksprintf
     (fun line ->
-      match !sink with
+      match get_sink () with
       | None -> ()
       | Some oc ->
           output_string oc line;
@@ -72,20 +79,20 @@ let on_pmem_event : Pmem.trace_event -> unit = function
         (escape site) (clk ())
 
 let stop () =
-  match !sink with
+  match get_sink () with
   | None -> ()
   | Some oc ->
-      Sim.tracer := None;
-      Pmem.tracer := None;
-      sink := None;
+      Sim.set_tracer None;
+      Pmem.set_tracer None;
+      set_sink None;
       flush oc;
       if oc != stdout && oc != stderr then close_out_noerr oc
 
 let start_channel oc =
   stop ();
-  sink := Some oc;
-  Sim.tracer := Some on_sim_event;
-  Pmem.tracer := Some on_pmem_event
+  set_sink (Some oc);
+  Sim.set_tracer (Some on_sim_event);
+  Pmem.set_tracer (Some on_pmem_event)
 
 (* Stop the previous trace (if any) *before* opening the new file: the
    old order opened first, so restarting into the same path truncated the

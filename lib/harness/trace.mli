@@ -18,7 +18,11 @@
     [clock] is the emitting thread's virtual clock in ns; it restarts at 0
     on every [Sim.run], so round boundaries re-base it (the Perfetto
     converter accumulates offsets).  Tracing off (the default) costs one
-    ref read per instrumented operation and allocates nothing. *)
+    domain-local read per instrumented operation and allocates nothing.
+
+    The sink and the hooks it installs are {e domain-local}: a trace
+    started on one domain records that domain's runs only.  Worker
+    domains of a parallel campaign ([-j]) are not traced. *)
 
 val active : unit -> bool
 

@@ -43,7 +43,12 @@ let defaults () =
     cas_drains_wb = true;
   }
 
-let current = defaults ()
+(* The active table is domain-local: concurrent simulations on separate
+   domains (Harness.Parallel) tweak and restore their own tables without
+   observing each other — a shared mutable table was exactly the kind of
+   cross-run global this substrate must not have. *)
+let dls : t Domain.DLS.key = Domain.DLS.new_key defaults
+let current () = Domain.DLS.get dls
 
 let assign dst src =
   dst.cache_hit <- src.cache_hit;
@@ -64,23 +69,25 @@ let assign dst src =
   dst.op_overhead <- src.op_overhead;
   dst.cas_drains_wb <- src.cas_drains_wb
 
-let restore_defaults () = assign current (defaults ())
+let restore_defaults () = assign (current ()) (defaults ())
 
 let copy t = { t with cache_hit = t.cache_hit }
 
 let with_table tweak f =
-  let saved = copy current in
+  let cur = current () in
+  let saved = copy cur in
   let table = defaults () in
   tweak table;
-  assign current table;
-  Fun.protect ~finally:(fun () -> assign current saved) f
+  assign cur table;
+  Fun.protect ~finally:(fun () -> assign cur saved) f
 
 let with_tweaked tweak f =
-  let saved = copy current in
-  let table = copy current in
+  let cur = current () in
+  let saved = copy cur in
+  let table = copy cur in
   tweak table;
-  assign current table;
-  Fun.protect ~finally:(fun () -> assign current saved) f
+  assign cur table;
+  Fun.protect ~finally:(fun () -> assign cur saved) f
 
 let is_default t =
   let d = defaults () in

@@ -39,8 +39,15 @@ type t = {
           completes, the thread's outstanding write-backs (§5). *)
 }
 
-val current : t
-(** The global cost table used by {!Pmem}. *)
+val current : unit -> t
+(** The active cost table used by {!Pmem}.  Domain-local: each domain
+    owns an independent table (initialized to the defaults), so parallel
+    campaigns can ablate or scale costs without cross-domain leaks.
+
+    Identity guarantee: this returns the domain's {e unique} table —
+    {!with_table}/{!with_tweaked} mutate it in place and restore it, they
+    never replace it — so the record may be cached domain-locally
+    ({!Pmem}'s hot context relies on this). *)
 
 val defaults : unit -> t
 (** A fresh copy of the calibrated default table. *)

@@ -10,18 +10,6 @@ type trace_event =
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
 
-(* Observability hooks (see Harness.Trace and Harness.Metrics): events are
-   constructed only when an observer is installed, so the disabled path is
-   a ref read per hook.  [tracer] serializes (event tracing); [collector]
-   aggregates (metrics); both may be active at once. *)
-let tracer : (trace_event -> unit) option ref = ref None
-let collector : (trace_event -> unit) option ref = ref None
-
-let observing () = !tracer != None || !collector != None
-
-let notify ev =
-  (match !tracer with None -> () | Some f -> f ev);
-  match !collector with None -> () | Some f -> f ev
 
 let popcount n =
   let n = ref n and c = ref 0 in
@@ -30,9 +18,6 @@ let popcount n =
     incr c
   done;
   !c
-
-let cur_tid () = if Sim.in_sim () then Sim.tid () else 0
-let cur_now () = if Sim.in_sim () then Sim.now () else 0.
 
 let check_tid tid =
   if tid < 0 || tid >= max_threads then
@@ -48,7 +33,7 @@ type heap = {
   mutable n_lines : int;
 }
 
-(* ---- machine-global state -------------------------------------------- *)
+(* ---- per-machine state: the instance ---------------------------------- *)
 
 type wb_entry =
   | Apply of heap * (unit -> unit)
@@ -57,20 +42,89 @@ type wb_entry =
          the victim's entries *)
   | Fence
 
-(* Per-thread queues of outstanding write-backs (the store buffer /
-   write-pending queue).  Global, like real hardware: one per CPU, not
-   per allocation region. *)
-let pending : wb_entry Queue.t array =
-  Array.init max_threads (fun _ -> Queue.create ())
+(* One simulated machine's mutable persistency state, explicitly owned:
+   the per-thread write-pending queues (the store buffer), the acceptance
+   deadlines, and the two observability hooks.  An instance belongs to
+   exactly one run at a time; the module-level API below is a thin shim
+   over the calling domain's {e current} instance, so existing callers
+   keep working while concurrent runs on separate domains (or an explicit
+   [with_instance] scope) each own a machine outright. *)
+type instance = {
+  (* Per-thread queues of outstanding write-backs (the store buffer /
+     write-pending queue).  Machine-wide, like real hardware: one per
+     CPU, not per allocation region. *)
+  pending : wb_entry Queue.t array;
+  (* Latest acceptance deadline among a thread's outstanding write-backs:
+     with ADR, acceptance by the write-pending queue is the persistence
+     point, so fences and draining CASes wait for acceptance only. *)
+  wb_deadline : float array;
+  (* Observability hooks (see Harness.Trace and Harness.Metrics): events
+     are constructed only when an observer is installed.  [tracer]
+     serializes (event tracing); [collector] aggregates (metrics); both
+     may be active at once. *)
+  mutable itracer : (trace_event -> unit) option;
+  mutable icollector : (trace_event -> unit) option;
+}
 
-(* Latest acceptance deadline among a thread's outstanding write-backs:
-   with ADR, acceptance by the write-pending queue is the persistence
-   point, so fences and draining CASes wait for acceptance only. *)
-let wb_deadline : float array = Array.make max_threads neg_infinity
+let create_instance () =
+  {
+    pending = Array.init max_threads (fun _ -> Queue.create ());
+    wb_deadline = Array.make max_threads neg_infinity;
+    itracer = None;
+    icollector = None;
+  }
+
+(* The domain's hot context: every simulated instruction consults the
+   engine (tid/clock/step), the cost table, the persistence stats, and
+   the current instance, and each module-level accessor is a separate
+   domain-local fetch.  [Sim.handle], [Cost.current] and [Pstats.dstats]
+   all return their domain's {e unique, never-replaced} value (tweaks
+   mutate them in place), so one record fetched with a single DLS lookup
+   can carry all four for the operation's duration.  The instance is the
+   only component that is swapped ([with_instance]), which is why it is a
+   mutable field here rather than its own key.
+
+   This also fixes the cross-domain hazard of the old module-level
+   state: the record, like each component, is per-domain, so concurrent
+   simulations cannot corrupt each other's write-back queues. *)
+type hot = {
+  hsim : Sim.handle;
+  hcost : Cost.t;
+  hpst : Pstats.dstats;
+  mutable hinst : instance;
+}
+
+let hot_key : hot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        hsim = Sim.handle ();
+        hcost = Cost.current ();
+        hpst = Pstats.dstats ();
+        hinst = create_instance ();
+      })
+
+let hot () = Domain.DLS.get hot_key
+let instance () = (hot ()).hinst
+
+let with_instance inst f =
+  let ht = hot () in
+  let prev = ht.hinst in
+  ht.hinst <- inst;
+  Fun.protect ~finally:(fun () -> ht.hinst <- prev) f
+
+let set_tracer t = (instance ()).itracer <- t
+let set_collector c = (instance ()).icollector <- c
+
+let observing inst = inst.itracer != None || inst.icollector != None
+
+let notify inst ev =
+  (match inst.itracer with None -> () | Some f -> f ev);
+  match inst.icollector with None -> () | Some f -> f ev
 
 let reset_pending () =
-  Array.iter Queue.clear pending;
-  Array.fill wb_deadline 0 max_threads neg_infinity
+  let inst = instance () in
+  Array.iter Queue.clear inst.pending;
+  Array.fill inst.wb_deadline 0 max_threads neg_infinity
 
 type line = {
   lheap : heap;
@@ -121,7 +175,8 @@ let new_line ?(name = "line") h =
         line.wb_owner <- -1;
         line.wb_until <- neg_infinity)
       :: h.metas;
-  Sim.step Cost.current.alloc;
+  let ht = hot () in
+  Sim.h_step ht.hsim ht.hcost.alloc;
   line
 
 let line_name l = l.lname
@@ -153,14 +208,16 @@ let check fld =
 
 let read fld =
   check fld;
-  let tid = cur_tid () in
+  let ht = hot () in
+  let tid = Sim.h_tid ht.hsim in
   check_tid tid;
   let line = fld.line in
-  let c = Cost.current in
+  let c = ht.hcost in
   let hit = line.sharers land bit tid <> 0 in
   line.sharers <- line.sharers lor bit tid;
-  if observing () then notify (Read { tid; line = line.lname; hit });
-  Sim.step (if hit then c.cache_hit else c.cache_miss);
+  let inst = ht.hinst in
+  if observing inst then notify inst (Read { tid; line = line.lname; hit });
+  Sim.h_step ht.hsim (if hit then c.cache_hit else c.cache_miss);
   fld.v
 
 let take_ownership line tid =
@@ -169,34 +226,38 @@ let take_ownership line tid =
 
 let write fld v =
   check fld;
-  let tid = cur_tid () in
+  let ht = hot () in
+  let tid = Sim.h_tid ht.hsim in
   check_tid tid;
   let line = fld.line in
-  let c = Cost.current in
+  let c = ht.hcost in
   let exclusive = line.owner = tid && line.sharers = bit tid in
   let others = line.sharers land lnot (bit tid) in
   take_ownership line tid;
-  if observing () then
-    notify
+  let inst = ht.hinst in
+  if observing inst then
+    notify inst
       (Write { tid; line = line.lname; hit = exclusive; invalidated = popcount others });
-  Sim.step (if exclusive then c.write_hit else c.write_miss);
+  Sim.h_step ht.hsim (if exclusive then c.write_hit else c.write_miss);
   fld.v <- v
 
 (* Complete (persist) every outstanding write-back of [tid]. *)
-let drain_queue tid =
-  let q = pending.(tid) in
+let drain_queue inst tid =
+  let q = inst.pending.(tid) in
   while not (Queue.is_empty q) do
     match Queue.pop q with Apply (_, f) -> f () | Fence -> ()
   done;
-  wb_deadline.(tid) <- neg_infinity
+  inst.wb_deadline.(tid) <- neg_infinity
 
 let cas fld expected desired =
   check fld;
-  let tid = cur_tid () in
+  let ht = hot () in
+  let tid = Sim.h_tid ht.hsim in
   check_tid tid;
   let line = fld.line in
-  let c = Cost.current in
-  let now = cur_now () in
+  let c = ht.hcost in
+  let inst = ht.hinst in
+  let now = Sim.h_now ht.hsim in
   let base = if line.owner = tid then c.cas_base else c.cas_contended in
   (* Store serialization: a locked instruction waits for an in-flight
      write-back of the same line (the pwb-then-CAS pathology of §5)... *)
@@ -208,8 +269,8 @@ let cas fld expected desired =
      thread's own outstanding write-backs as a side effect. *)
   let drain_stall =
     if c.cas_drains_wb then begin
-      let stall = Float.max 0. (wb_deadline.(tid) -. now) in
-      drain_queue tid;
+      let stall = Float.max 0. (inst.wb_deadline.(tid) -. now) in
+      drain_queue inst tid;
       stall
     end
     else 0.
@@ -226,10 +287,10 @@ let cas fld expected desired =
      causal profiler scales a cost (a replayed tape would diverge).
      With a static basis, switch placement is a pure function of the
      instruction stream. *)
-  Sim.step_as ~switch:base (base +. Float.max line_stall drain_stall);
+  Sim.h_step_as ht.hsim ~switch:base (base +. Float.max line_stall drain_stall);
   let success = fld.v == expected in
-  if observing () then
-    notify
+  if observing inst then
+    notify inst
       (Cas { tid; line = line.lname; success; invalidated = popcount others });
   if success then begin
     fld.v <- desired;
@@ -266,15 +327,19 @@ let classify line tid now =
    to 1.0, in which case this is exactly the unscaled model. *)
 
 let pwb site line =
-  if Pstats.enabled site then begin
-    let tid = cur_tid () in
+  let ht = hot () in
+  let pst = ht.hpst in
+  if Pstats.d_enabled pst site then begin
+    let tid = Sim.h_tid ht.hsim in
     check_tid tid;
-    let c = Cost.current in
-    let now = cur_now () in
+    let c = ht.hcost in
+    let inst = ht.hinst in
+    let now = Sim.h_now ht.hsim in
     let impact = classify line tid now in
-    Pstats.record site impact;
-    if observing () then notify (Pwb { tid; site = Pstats.name site; impact });
-    let m = Pstats.cost_mult site *. Pstats.category_mult impact in
+    Pstats.d_record pst site impact;
+    if observing inst then
+      notify inst (Pwb { tid; site = Pstats.name site; impact });
+    let m = Pstats.d_cost_mult pst site *. Pstats.d_category_mult pst impact in
     (* Flushing a line that is dirty in another cache, or that already has
        an in-flight write-back from another thread, pays the ping-pong
        penalty the paper associates with high-impact pwbs. *)
@@ -287,7 +352,7 @@ let pwb site line =
       else if line.sharers land lnot (bit tid) <> 0 then c.pwb_shared
       else 0.
     in
-    let q = pending.(tid) in
+    let q = inst.pending.(tid) in
     (* Bound the queue like a real write-pending queue: the oldest
        *write-back* has certainly completed once the queue is deep.
        Fences carry no payload, so pop through them until an Apply is
@@ -311,43 +376,50 @@ let pwb site line =
     line.wb_owner <- tid;
     line.wb_until <- now +. (m *. c.pwb_latency);
     let accepted = now +. (m *. c.pwb_accept) in
-    if accepted > wb_deadline.(tid) then wb_deadline.(tid) <- accepted;
+    if accepted > inst.wb_deadline.(tid) then inst.wb_deadline.(tid) <- accepted;
     let cost = c.pwb_issue +. stall in
-    Pstats.add_time site (m *. cost);
-    Pstats.add_category_time impact (m *. cost);
+    Pstats.d_add_time pst site (m *. cost);
+    Pstats.d_add_category_time pst impact (m *. cost);
     (* switch on the static issue cost: see the CAS path *)
-    Sim.step_as ~switch:c.pwb_issue (m *. cost)
+    Sim.h_step_as ht.hsim ~switch:c.pwb_issue (m *. cost)
   end
 
 let pwb_f site fld = pwb site fld.line
 
 let pfence site =
-  if Pstats.enabled site then begin
-    let tid = cur_tid () in
+  let ht = hot () in
+  let pst = ht.hpst in
+  if Pstats.d_enabled pst site then begin
+    let tid = Sim.h_tid ht.hsim in
     check_tid tid;
-    Pstats.record_fence site;
-    if observing () then notify (Pfence { tid; site = Pstats.name site });
-    Queue.push Fence pending.(tid);
-    let m = Pstats.cost_mult site in
-    let cost = Cost.current.pfence_base in
-    Pstats.add_time site (m *. cost);
-    Sim.step_as ~switch:cost (m *. cost)
+    Pstats.d_record_fence pst site;
+    let inst = ht.hinst in
+    if observing inst then notify inst (Pfence { tid; site = Pstats.name site });
+    Queue.push Fence inst.pending.(tid);
+    let m = Pstats.d_cost_mult pst site in
+    let cost = ht.hcost.pfence_base in
+    Pstats.d_add_time pst site (m *. cost);
+    Sim.h_step_as ht.hsim ~switch:cost (m *. cost)
   end
 
 let psync site =
-  if Pstats.enabled site then begin
-    let tid = cur_tid () in
+  let ht = hot () in
+  let pst = ht.hpst in
+  if Pstats.d_enabled pst site then begin
+    let tid = Sim.h_tid ht.hsim in
     check_tid tid;
-    Pstats.record_fence site;
-    if observing () then notify (Psync { tid; site = Pstats.name site });
-    let now = cur_now () in
-    let stall = Float.max 0. (wb_deadline.(tid) -. now) in
-    drain_queue tid;
-    let m = Pstats.cost_mult site in
-    let cost = Cost.current.psync_base +. stall in
-    Pstats.add_time site (m *. cost);
+    Pstats.d_record_fence pst site;
+    let inst = ht.hinst in
+    if observing inst then notify inst (Psync { tid; site = Pstats.name site });
+    let now = Sim.h_now ht.hsim in
+    let stall = Float.max 0. (inst.wb_deadline.(tid) -. now) in
+    drain_queue inst tid;
+    let m = Pstats.d_cost_mult pst site in
+    let c = ht.hcost in
+    let cost = c.psync_base +. stall in
+    Pstats.d_add_time pst site (m *. cost);
     (* switch on the static base cost: see the CAS path *)
-    Sim.step_as ~switch:Cost.current.psync_base (m *. cost)
+    Sim.h_step_as ht.hsim ~switch:c.psync_base (m *. cost)
   end
 
 (* ---- crashes ----------------------------------------------------------- *)
@@ -453,12 +525,14 @@ let victim_resolver_deterministic choice =
         | `Apply f -> if !applied < k then begin f (); incr applied end
 
 let crash ?rng ?resolution ?(scope = `Machine) h =
+  let inst = instance () in
   (match scope with
   | `Machine ->
       (match resolution with
-      | Some choice -> Array.iter (resolve_queue_deterministic choice) pending
-      | None -> Array.iter (resolve_queue_at_crash rng) pending);
-      Array.fill wb_deadline 0 max_threads neg_infinity
+      | Some choice ->
+          Array.iter (resolve_queue_deterministic choice) inst.pending
+      | None -> Array.iter (resolve_queue_at_crash rng) inst.pending);
+      Array.fill inst.wb_deadline 0 max_threads neg_infinity
   | `Heap ->
       (* Survivors' pending write-backs are untouched, so their
          acceptance deadlines stay meaningful: leave [wb_deadline]
@@ -473,7 +547,7 @@ let crash ?rng ?resolution ?(scope = `Machine) h =
             | None -> victim_resolver_rng rng
           in
           resolve_queue_scoped h on_victim q)
-        pending);
+        inst.pending);
   List.iter (fun f -> f ()) h.resets;
   List.iter (fun f -> f ()) h.metas
 
@@ -493,7 +567,7 @@ let outstanding_writebacks tid =
   check_tid tid;
   Queue.fold
     (fun n e -> match e with Apply _ -> n + 1 | Fence -> n)
-    0 pending.(tid)
+    0 (instance ()).pending.(tid)
 
 let max_outstanding_writebacks () =
   let m = ref 0 in

@@ -39,17 +39,44 @@ type trace_event =
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
 
-val tracer : (trace_event -> unit) option ref
+val set_tracer : (trace_event -> unit) option -> unit
 (** Observability hook (see [Harness.Trace]): when set, every memory
     access and persistence instruction is reported.  Events are only
-    constructed when an observer is installed; the disabled path is a
-    ref read per hook. *)
+    constructed when an observer is installed; the disabled path is one
+    read per hook.  The hook belongs to the current {!type-instance}. *)
 
-val collector : (trace_event -> unit) option ref
+val set_collector : (trace_event -> unit) option -> unit
 (** Second, independent observability hook (see [Harness.Metrics]).
-    [tracer] serializes events to a sink while [collector] aggregates
-    them; keeping them separate lets tracing and metrics run at once
-    without clobbering each other's installation. *)
+    The tracer serializes events to a sink while the collector
+    aggregates them; keeping them separate lets tracing and metrics run
+    at once without clobbering each other's installation. *)
+
+(** {1 Instances}
+
+    An {!type-instance} is one simulated machine's persistency state: the
+    per-thread write-pending queues (store buffers), their acceptance
+    deadlines, and the tracer/collector hooks.  Every operation in this
+    module acts on the calling domain's {e current} instance — a default
+    is created lazily per domain, so single-run programs never notice —
+    and {!with_instance} rebinds it for an explicit scope.  Two
+    concurrent simulations on separate domains (or on separate explicit
+    instances) cannot observe each other's write-backs.
+
+    Cache-line bookkeeping (sharers/owner/write-back state) lives on the
+    lines themselves, which belong to per-run {!type-heap}s — it is
+    per-run state already and needs no instance. *)
+
+type instance
+
+val create_instance : unit -> instance
+(** A fresh machine: empty write-back queues, no deadlines, no hooks. *)
+
+val instance : unit -> instance
+(** The calling domain's current instance. *)
+
+val with_instance : instance -> (unit -> 'a) -> 'a
+(** [with_instance inst f] runs [f] with [inst] as the current instance,
+    restoring the previous one on exit (exceptions included). *)
 
 (** {1 Heaps} *)
 
@@ -165,4 +192,5 @@ val max_outstanding_writebacks : unit -> int
     [m] outstanding, [`Prefix k] for [k >= m] is equivalent to [`All]. *)
 
 val reset_pending : unit -> unit
-(** Drop all pending write-backs of all threads (between experiments). *)
+(** Drop all pending write-backs of all threads in the current instance
+    (between experiments). *)

@@ -1,106 +1,165 @@
 type kind = Pwb | Pfence | Psync
 type category = Low | Medium | High
 
-type site = {
-  id : int;
-  name : string;
-  kind : kind;
-  mutable enabled : bool;
-  mutable mult : float;  (* causal-profiler cost multiplier, default 1.0 *)
-  mutable n_low : int;
-  mutable n_medium : int;
-  mutable n_high : int;
-  mutable n_fence : int;
-  mutable t_ns : float;  (* virtual ns charged at this site since reset *)
-}
+(* A site is pure {e identity}: the code line's name, its instruction
+   kind, and a dense integer id.  Identity is global — the same code line
+   is the same site on every domain — and registration is mutex-guarded
+   because structure factories register instance-scoped sites (e.g. the
+   BST's per-instance flush sites) from whichever domain runs them. *)
+type site = { id : int; name : string; kind : kind }
 
+let mu = Mutex.create ()
 let registry : (string, site) Hashtbl.t = Hashtbl.create 64
 let ordered : site list ref = ref []
-let next_id = ref 0
+let n_sites = ref 0
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let make kind name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some s ->
       if s.kind <> kind then
         invalid_arg (Printf.sprintf "Pstats.make: site %S re-registered with a different kind" name);
       s
   | None ->
-      let s =
-        {
-          id = !next_id;
-          name;
-          kind;
-          enabled = true;
-          mult = 1.0;
-          n_low = 0;
-          n_medium = 0;
-          n_high = 0;
-          n_fence = 0;
-          t_ns = 0.;
-        }
-      in
-      incr next_id;
+      let s = { id = !n_sites; name; kind } in
+      incr n_sites;
       Hashtbl.add registry name s;
       ordered := s :: !ordered;
       s
 
 let name s = s.name
 let kind s = s.kind
-let find n = Hashtbl.find_opt registry n
-let enabled s = s.enabled
-let set_enabled s b = s.enabled <- b
-let sites () = List.rev !ordered
+let find n = locked (fun () -> Hashtbl.find_opt registry n)
+let sites () = locked (fun () -> List.rev !ordered)
 
-let set_all_enabled b = List.iter (fun s -> s.enabled <- b) (sites ())
+(* ---- per-domain statistics -------------------------------------------- *)
+
+(* Everything mutable — enabled flags, cost multipliers, execution counts,
+   charged time — lives in flat per-domain arrays indexed by site id:
+   concurrent campaigns on separate domains enable/scale/count without
+   observing each other, and the hot recording paths ({!record},
+   {!add_time}, the {!enabled} check on every pwb) are single unboxed
+   array accesses instead of record-field chases. *)
+type stats = {
+  mutable cap : int;
+  mutable enabled : bool array;
+  mutable mult : float array;
+  mutable n_low : int array;
+  mutable n_medium : int array;
+  mutable n_high : int array;
+  mutable n_fence : int array;
+  mutable t_ns : float array;
+  cat_mult : float array;
+  cat_time : float array;
+}
+
+let fresh () =
+  {
+    cap = 0;
+    enabled = [||];
+    mult = [||];
+    n_low = [||];
+    n_medium = [||];
+    n_high = [||];
+    n_fence = [||];
+    t_ns = [||];
+    cat_mult = [| 1.0; 1.0; 1.0 |];
+    cat_time = [| 0.; 0.; 0. |];
+  }
+
+let dls : stats Domain.DLS.key = Domain.DLS.new_key fresh
+
+let grow st want =
+  let cap = max 16 (max want (2 * st.cap)) in
+  let gb a d =
+    let b = Array.make cap d in
+    Array.blit a 0 b 0 st.cap;
+    b
+  in
+  st.enabled <- gb st.enabled true;
+  st.mult <- gb st.mult 1.0;
+  st.n_low <- gb st.n_low 0;
+  st.n_medium <- gb st.n_medium 0;
+  st.n_high <- gb st.n_high 0;
+  st.n_fence <- gb st.n_fence 0;
+  st.t_ns <- gb st.t_ns 0.;
+  st.cap <- cap
+
+(* The domain's stats, grown to cover site [id]: a site registered on one
+   domain may first be exercised on another whose arrays are shorter. *)
+let stx id =
+  let st = Domain.DLS.get dls in
+  if id >= st.cap then grow st (id + 1);
+  st
+
+let enabled s = (stx s.id).enabled.(s.id)
+let set_enabled s b = (stx s.id).enabled.(s.id) <- b
+
+let set_all_enabled b =
+  List.iter (fun s -> (stx s.id).enabled.(s.id) <- b) (sites ())
 
 (* ---- causal-profiler cost multipliers --------------------------------- *)
 
-let cost_mult s = s.mult
+let cost_mult s = (stx s.id).mult.(s.id)
 
 let set_cost_mult s m =
   if m < 0. || Float.is_nan m then
     invalid_arg (Printf.sprintf "Pstats.set_cost_mult %s: bad multiplier" s.name);
-  s.mult <- m
+  (stx s.id).mult.(s.id) <- m
 
-let reset_cost_mults () = List.iter (fun s -> s.mult <- 1.0) (sites ())
+let reset_cost_mults () =
+  List.iter (fun s -> (stx s.id).mult.(s.id) <- 1.0) (sites ())
+
+let cat_index = function Low -> 0 | Medium -> 1 | High -> 2
 
 (* Emergent-category multipliers: applied to every executed pwb whose
    impact class (computed per execution by the memory model) matches, on
    top of the site multiplier. *)
-let cat_mult = [| 1.0; 1.0; 1.0 |]
-
-let cat_index = function Low -> 0 | Medium -> 1 | High -> 2
-
-let category_mult c = cat_mult.(cat_index c)
+let category_mult c = (Domain.DLS.get dls).cat_mult.(cat_index c)
 
 let set_category_mult c m =
   if m < 0. || Float.is_nan m then invalid_arg "Pstats.set_category_mult";
-  cat_mult.(cat_index c) <- m
+  (Domain.DLS.get dls).cat_mult.(cat_index c) <- m
 
-let reset_category_mults () = Array.fill cat_mult 0 3 1.0
+let reset_category_mults () =
+  Array.fill (Domain.DLS.get dls).cat_mult 0 3 1.0
 
 let all_multipliers_default () =
-  Array.for_all (fun m -> m = 1.0) cat_mult
-  && List.for_all (fun s -> s.mult = 1.0) (sites ())
+  let st = Domain.DLS.get dls in
+  Array.for_all (fun m -> m = 1.0) st.cat_mult
+  && List.for_all (fun s -> s.id >= st.cap || st.mult.(s.id) = 1.0) (sites ())
 
 let set_kind_enabled k b =
-  List.iter (fun s -> if s.kind = k then s.enabled <- b) (sites ())
+  List.iter (fun s -> if s.kind = k then (stx s.id).enabled.(s.id) <- b) (sites ())
 
 let record s cat =
+  let st = stx s.id in
   match cat with
-  | Low -> s.n_low <- s.n_low + 1
-  | Medium -> s.n_medium <- s.n_medium + 1
-  | High -> s.n_high <- s.n_high + 1
+  | Low -> st.n_low.(s.id) <- st.n_low.(s.id) + 1
+  | Medium -> st.n_medium.(s.id) <- st.n_medium.(s.id) + 1
+  | High -> st.n_high.(s.id) <- st.n_high.(s.id) + 1
 
-let record_fence s = s.n_fence <- s.n_fence + 1
-let add_time s ns = s.t_ns <- s.t_ns +. ns
-let site_time s = s.t_ns
+let record_fence s =
+  let st = stx s.id in
+  st.n_fence.(s.id) <- st.n_fence.(s.id) + 1
+
+let add_time s ns =
+  let st = stx s.id in
+  st.t_ns.(s.id) <- st.t_ns.(s.id) +. ns
+
+let site_time s = (stx s.id).t_ns.(s.id)
 
 (* Per-category charged time (pwbs only), for the causal profiler's
    category rows. *)
-let cat_time = [| 0.; 0.; 0. |]
-let add_category_time c ns = cat_time.(cat_index c) <- cat_time.(cat_index c) +. ns
-let category_time c = cat_time.(cat_index c)
+let add_category_time c ns =
+  let a = (Domain.DLS.get dls).cat_time in
+  a.(cat_index c) <- a.(cat_index c) +. ns
+
+let category_time c = (Domain.DLS.get dls).cat_time.(cat_index c)
 
 type totals = {
   pwbs : int;
@@ -114,31 +173,32 @@ type totals = {
 let totals () =
   List.fold_left
     (fun acc s ->
+      let st = stx s.id in
       match s.kind with
       | Pwb ->
-          let n = s.n_low + s.n_medium + s.n_high in
+          let l = st.n_low.(s.id)
+          and m = st.n_medium.(s.id)
+          and h = st.n_high.(s.id) in
           {
             acc with
-            pwbs = acc.pwbs + n;
-            low = acc.low + s.n_low;
-            medium = acc.medium + s.n_medium;
-            high = acc.high + s.n_high;
+            pwbs = acc.pwbs + l + m + h;
+            low = acc.low + l;
+            medium = acc.medium + m;
+            high = acc.high + h;
           }
-      | Pfence -> { acc with pfences = acc.pfences + s.n_fence }
-      | Psync -> { acc with psyncs = acc.psyncs + s.n_fence })
+      | Pfence -> { acc with pfences = acc.pfences + st.n_fence.(s.id) }
+      | Psync -> { acc with psyncs = acc.psyncs + st.n_fence.(s.id) })
     { pwbs = 0; pfences = 0; psyncs = 0; low = 0; medium = 0; high = 0 }
     (sites ())
 
 let reset () =
-  List.iter
-    (fun s ->
-      s.n_low <- 0;
-      s.n_medium <- 0;
-      s.n_high <- 0;
-      s.n_fence <- 0;
-      s.t_ns <- 0.)
-    (sites ());
-  Array.fill cat_time 0 3 0.
+  let st = Domain.DLS.get dls in
+  Array.fill st.n_low 0 st.cap 0;
+  Array.fill st.n_medium 0 st.cap 0;
+  Array.fill st.n_high 0 st.cap 0;
+  Array.fill st.n_fence 0 st.cap 0;
+  Array.fill st.t_ns 0 st.cap 0.;
+  Array.fill st.cat_time 0 3 0.
 
 (* Majority category with ties pinned toward the {e higher} impact class:
    a site observed 50/50 medium/high counts as high.  The profiler must
@@ -146,21 +206,69 @@ let reset () =
    tie-break would make figure points depend on count parity. *)
 let classify s =
   if s.kind <> Pwb then None
-  else if s.n_low = 0 && s.n_medium = 0 && s.n_high = 0 then None
-  else if s.n_high >= s.n_medium && s.n_high >= s.n_low then Some High
-  else if s.n_medium >= s.n_low then Some Medium
-  else Some Low
+  else begin
+    let st = stx s.id in
+    let l = st.n_low.(s.id)
+    and m = st.n_medium.(s.id)
+    and h = st.n_high.(s.id) in
+    if l = 0 && m = 0 && h = 0 then None
+    else if h >= m && h >= l then Some High
+    else if m >= l then Some Medium
+    else Some Low
+  end
 
 let set_category_enabled ~classification cat b =
   List.iter
     (fun s ->
-      if s.kind = Pwb && classification s = Some cat then s.enabled <- b)
+      if s.kind = Pwb && classification s = Some cat then
+        (stx s.id).enabled.(s.id) <- b)
     (sites ())
 
-let site_counts s = (s.n_low, s.n_medium, s.n_high)
-let site_fences s = s.n_fence
+let site_counts s =
+  let st = stx s.id in
+  (st.n_low.(s.id), st.n_medium.(s.id), st.n_high.(s.id))
+
+let site_fences s = (stx s.id).n_fence.(s.id)
 
 let pp_category ppf = function
   | Low -> Format.pp_print_string ppf "low"
   | Medium -> Format.pp_print_string ppf "medium"
   | High -> Format.pp_print_string ppf "high"
+
+(* ---- hot-path accessors ------------------------------------------------
+   One DLS fetch per operation instead of one per consultation (pwb makes
+   six).  Each accessor keeps the lazy-grow check — a single compare — so
+   a site first exercised on this domain is still safe whichever accessor
+   touches it first. *)
+
+type dstats = stats
+
+let dstats () = Domain.DLS.get dls
+
+let d_enabled st (s : site) =
+  if s.id >= st.cap then grow st (s.id + 1);
+  st.enabled.(s.id)
+
+let d_record st (s : site) cat =
+  if s.id >= st.cap then grow st (s.id + 1);
+  match cat with
+  | Low -> st.n_low.(s.id) <- st.n_low.(s.id) + 1
+  | Medium -> st.n_medium.(s.id) <- st.n_medium.(s.id) + 1
+  | High -> st.n_high.(s.id) <- st.n_high.(s.id) + 1
+
+let d_record_fence st (s : site) =
+  if s.id >= st.cap then grow st (s.id + 1);
+  st.n_fence.(s.id) <- st.n_fence.(s.id) + 1
+
+let d_cost_mult st (s : site) =
+  if s.id >= st.cap then grow st (s.id + 1);
+  st.mult.(s.id)
+
+let d_category_mult st c = st.cat_mult.(cat_index c)
+
+let d_add_time st (s : site) ns =
+  if s.id >= st.cap then grow st (s.id + 1);
+  st.t_ns.(s.id) <- st.t_ns.(s.id) +. ns
+
+let d_add_category_time st c ns =
+  st.cat_time.(cat_index c) <- st.cat_time.(cat_index c) +. ns

@@ -4,7 +4,13 @@
     the paper's persistence-free, no-psync, and category-removal variants,
     and every executed pwb is classified by the memory model into the
     paper's low / medium / high impact categories based on the sharing
-    state of the flushed cache line. *)
+    state of the flushed cache line.
+
+    Site {e identity} (name, kind, id) is global and registration is
+    thread-safe; everything mutable — enabled flags, cost multipliers,
+    counts, charged time — is {e domain-local}, so concurrent campaigns
+    on separate domains ({!Harness.Parallel}) configure and account
+    independently. *)
 
 type kind = Pwb | Pfence | Psync
 
@@ -14,7 +20,9 @@ type site
 
 val make : kind -> string -> site
 (** [make kind name] registers (or returns the existing) site.  Sites are
-    global and keyed by name; create them once at module toplevel. *)
+    global and keyed by name; create them once at module toplevel.
+    Thread-safe: instance-scoped sites may be registered from worker
+    domains. *)
 
 val name : site -> string
 val kind : site -> kind
@@ -119,3 +127,29 @@ val site_fences : site -> int
     pwb sites). *)
 
 val pp_category : Format.formatter -> category -> unit
+
+(** {2 Hot-path accessors}
+
+    {!Pmem.pwb} consults this module up to six times per executed pwb
+    (enabled, record, two multipliers, two time accounts), and each
+    module-level accessor above pays one domain-local fetch.  A {!dstats}
+    is the calling domain's statistics fetched {e once}; the [d_]*
+    variants below are then plain array accesses.  Same contract as
+    {!Sim.handle}: fetch at the top of an operation, never store one or
+    move it across domains. *)
+
+type dstats
+(** The calling domain's mutable statistics (one domain-local fetch). *)
+
+val dstats : unit -> dstats
+(** Identity guarantee: returns the domain's {e unique} statistics value
+    (grown and reset in place, never replaced), so it may be cached
+    domain-locally ({!Pmem}'s hot context relies on this). *)
+
+val d_enabled : dstats -> site -> bool
+val d_record : dstats -> site -> category -> unit
+val d_record_fence : dstats -> site -> unit
+val d_cost_mult : dstats -> site -> float
+val d_category_mult : dstats -> category -> float
+val d_add_time : dstats -> site -> float -> unit
+val d_add_category_time : dstats -> category -> float -> unit

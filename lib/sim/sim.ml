@@ -1,5 +1,6 @@
 exception Crashed
 exception Step_limit
+exception Not_in_run of string
 
 type outcome =
   | All_done
@@ -9,27 +10,39 @@ type trace_event =
   | Sched of { step : int; tid : int; clock : float }
   | Crash of { step : int }
 
-(* Observability hook: when set, the engine reports every scheduling
-   decision and the crash boundary.  The event is only constructed when a
-   tracer is installed, so the disabled path costs one ref read. *)
-let tracer : (trace_event -> unit) option ref = ref None
-
 type status = Done | Suspended
 
 type fiber =
   | Thunk of (unit -> status)
   | Cont of (unit, status) Effect.Deep.continuation
 
+(* A fiber value for unoccupied slots, so the slot table can be a plain
+   (non-option) array: reading it is a bug caught by slot_tid = -1. *)
+let dummy_fiber = Thunk (fun () -> Done)
+
 type engine = {
   policy : [ `Perf | `Random ];
   rng : Random.State.t;
   clocks : float array;
-  (* Min-heap of (clock, insertion seq, slot) for the perf policy; the
-     race policy picks uniformly from the same array. *)
-  mutable ready : (float * int * int) array;
+  (* Min-heap of ready fibers for the perf policy, keyed by
+     (clock, insertion seq); the race policy picks uniformly from the
+     same arrays.  Kept as three parallel unboxed arrays — one float
+     array, two int arrays — instead of an array of
+     (float * int * int) tuples: enqueue/dequeue are the engine's
+     hottest operations and the flat layout makes them allocation-free
+     (no tuple box per scheduling decision). *)
+  mutable ready_clock : float array;
+  mutable ready_seq : int array;
+  mutable ready_slot : int array;
   mutable ready_len : int;
-  mutable slots : (int * fiber) option array;
-  mutable free_slots : int list;
+  (* Slot table: parallel arrays again (tid, fiber) instead of
+     [(int * fiber) option array] — enqueuing a fiber used to allocate a
+     Some box and a tuple per suspension. [slot_tid.(s) = -1] marks a
+     free slot; free slots are kept in a stack. *)
+  mutable slot_tid : int array;
+  mutable slot_fiber : fiber array;
+  mutable free_slots : int array;
+  mutable free_top : int;
   mutable seq : int;
   mutable steps : int;
   crash_at : int; (* -1 = never *)
@@ -68,71 +81,105 @@ type ctx = {
   mutable since_yield : int;
 }
 
-let current : ctx option ref = ref None
+(* All ambient engine state is domain-local: each OCaml 5 domain may host
+   its own independent [run] (the parallel campaign driver,
+   Harness.Parallel, runs one simulation per worker domain), and nothing
+   one domain does may leak into another.  Module-level refs — the old
+   representation — are shared across domains and would let concurrent
+   runs observe each other's scheduler state. *)
+type domain_state = {
+  mutable cur : ctx option;
+  mutable dtracer : (trace_event -> unit) option;
+}
+
+let dls : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cur = None; dtracer = None })
+
+let state () = Domain.DLS.get dls
+let set_tracer t = (state ()).dtracer <- t
 
 type _ Effect.t += Yield : unit Effect.t
 
 (* ---- ready-queue operations ----------------------------------------- *)
 
-let entry_lt (c1, s1, _) (c2, s2, _) = c1 < c2 || (c1 = c2 && s1 < s2)
+(* Heap order: clock, ties broken by insertion sequence.  Slot ids never
+   participate in the order, so slot numbering is unobservable. *)
+let lt e i j =
+  let ci = e.ready_clock.(i) and cj = e.ready_clock.(j) in
+  ci < cj || (ci = cj && e.ready_seq.(i) < e.ready_seq.(j))
+
+let swap e i j =
+  let c = e.ready_clock.(i) in
+  e.ready_clock.(i) <- e.ready_clock.(j);
+  e.ready_clock.(j) <- c;
+  let s = e.ready_seq.(i) in
+  e.ready_seq.(i) <- e.ready_seq.(j);
+  e.ready_seq.(j) <- s;
+  let t = e.ready_slot.(i) in
+  e.ready_slot.(i) <- e.ready_slot.(j);
+  e.ready_slot.(j) <- t
 
 let sift_up e i =
-  let a = e.ready in
   let i = ref i in
-  while !i > 0 && entry_lt a.(!i) a.((!i - 1) / 2) do
+  while !i > 0 && lt e !i ((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
-    let tmp = a.(p) in
-    a.(p) <- a.(!i);
-    a.(!i) <- tmp;
+    swap e p !i;
     i := p
   done
 
 let sift_down e i =
-  let a = e.ready in
   let i = ref i in
   let continue_sift = ref true in
   while !continue_sift do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let m = ref !i in
-    if l < e.ready_len && entry_lt a.(l) a.(!m) then m := l;
-    if r < e.ready_len && entry_lt a.(r) a.(!m) then m := r;
+    if l < e.ready_len && lt e l !m then m := l;
+    if r < e.ready_len && lt e r !m then m := r;
     if !m = !i then continue_sift := false
     else begin
-      let tmp = a.(!m) in
-      a.(!m) <- a.(!i);
-      a.(!i) <- tmp;
+      swap e !m !i;
       i := !m
     end
   done
 
-let heap_push e entry =
+let heap_push e clock seq slot =
   let n = e.ready_len in
-  if n = Array.length e.ready then begin
-    let bigger = Array.make (max 8 (2 * n)) (0., 0, 0) in
-    Array.blit e.ready 0 bigger 0 n;
-    e.ready <- bigger
+  if n = Array.length e.ready_clock then begin
+    let cap = max 8 (2 * n) in
+    let bc = Array.make cap 0. in
+    Array.blit e.ready_clock 0 bc 0 n;
+    e.ready_clock <- bc;
+    let bs = Array.make cap 0 in
+    Array.blit e.ready_seq 0 bs 0 n;
+    e.ready_seq <- bs;
+    let bt = Array.make cap 0 in
+    Array.blit e.ready_slot 0 bt 0 n;
+    e.ready_slot <- bt
   end;
-  e.ready.(n) <- entry;
+  e.ready_clock.(n) <- clock;
+  e.ready_seq.(n) <- seq;
+  e.ready_slot.(n) <- slot;
   e.ready_len <- n + 1;
   if e.policy = `Perf then sift_up e n
 
 (* Remove the entry at ready index [i], preserving the heap invariant in
    perf mode (replay can pull an arbitrary ready fiber, not just the
-   clock minimum). *)
+   clock minimum); returns the removed entry's slot. *)
 let remove_at e i =
-  let a = e.ready in
   let n = e.ready_len in
   assert (n > 0 && i < n);
-  let entry = a.(i) in
+  let slot = e.ready_slot.(i) in
   e.ready_len <- n - 1;
   if i < n - 1 then begin
-    a.(i) <- a.(n - 1);
+    e.ready_clock.(i) <- e.ready_clock.(n - 1);
+    e.ready_seq.(i) <- e.ready_seq.(n - 1);
+    e.ready_slot.(i) <- e.ready_slot.(n - 1);
     if e.policy = `Perf then begin
       sift_down e i;
       sift_up e i
     end
   end;
-  entry
+  slot
 
 let heap_pop_min e = remove_at e 0
 
@@ -140,12 +187,7 @@ let ready_index_of_tid e tid =
   let n = e.ready_len in
   let found = ref (-1) in
   for j = 0 to n - 1 do
-    if !found < 0 then begin
-      let _, _, slot = e.ready.(j) in
-      match e.slots.(slot) with
-      | Some (t, _) when t = tid -> found := j
-      | _ -> ()
-    end
+    if !found < 0 && e.slot_tid.(e.ready_slot.(j)) = tid then found := j
   done;
   !found
 
@@ -154,10 +196,9 @@ let ready_tids e =
   let n = e.ready_len in
   let tids = Array.make n (-1) in
   for j = 0 to n - 1 do
-    let _, _, slot = e.ready.(j) in
-    match e.slots.(slot) with
-    | Some (t, _) -> tids.(j) <- t
-    | None -> assert false
+    let t = e.slot_tid.(e.ready_slot.(j)) in
+    assert (t >= 0);
+    tids.(j) <- t
   done;
   Array.sort compare tids;
   tids
@@ -201,56 +242,75 @@ let pop_random e =
 
 let enqueue e tid fiber =
   let slot =
-    match e.free_slots with
-    | s :: rest ->
-        e.free_slots <- rest;
-        s
-    | [] ->
-        let s = Array.length e.slots in
-        let bigger = Array.make (max 8 (2 * s)) None in
-        Array.blit e.slots 0 bigger 0 s;
-        e.slots <- bigger;
-        e.free_slots <- List.init (s - 1) (fun i -> s + 1 + i);
-        s
+    if e.free_top > 0 then begin
+      e.free_top <- e.free_top - 1;
+      e.free_slots.(e.free_top)
+    end
+    else begin
+      let s = Array.length e.slot_tid in
+      let cap = max 8 (2 * s) in
+      let bt = Array.make cap (-1) in
+      Array.blit e.slot_tid 0 bt 0 s;
+      e.slot_tid <- bt;
+      let bf = Array.make cap dummy_fiber in
+      Array.blit e.slot_fiber 0 bf 0 s;
+      e.slot_fiber <- bf;
+      let bfree = Array.make cap 0 in
+      e.free_slots <- bfree;
+      for i = s + 1 to cap - 1 do
+        bfree.(e.free_top) <- i;
+        e.free_top <- e.free_top + 1
+      done;
+      s
+    end
   in
-  e.slots.(slot) <- Some (tid, fiber);
+  e.slot_tid.(slot) <- tid;
+  e.slot_fiber.(slot) <- fiber;
   e.seq <- e.seq + 1;
-  heap_push e (e.clocks.(tid), e.seq, slot)
+  heap_push e e.clocks.(tid) e.seq slot
 
+(* Pick the next fiber to dispatch; returns its slot — the caller reads
+   [slot_tid]/[slot_fiber] and then frees the slot with [release]. *)
 let dequeue e =
-  let _, _, slot =
+  let slot =
     match take_replay e with
     | Some i -> remove_at e i
     | None -> if e.policy = `Perf then heap_pop_min e else pop_random e
   in
-  match e.slots.(slot) with
-  | None -> assert false
-  | Some ((tid, _) as pair) ->
-      e.slots.(slot) <- None;
-      e.free_slots <- slot :: e.free_slots;
-      (match e.record with None -> () | Some f -> f tid);
-      pair
+  assert (e.slot_tid.(slot) >= 0);
+  (match e.record with None -> () | Some f -> f e.slot_tid.(slot));
+  slot
+
+let release e slot =
+  e.slot_tid.(slot) <- -1;
+  e.slot_fiber.(slot) <- dummy_fiber;
+  (* capacity of [free_slots] always equals the slot-table capacity, so
+     the push cannot overflow *)
+  e.free_slots.(e.free_top) <- slot;
+  e.free_top <- e.free_top + 1
 
 (* ---- public accessors ------------------------------------------------ *)
 
-let in_sim () = !current <> None
+let in_sim () = (state ()).cur <> None
 
-let ctx_exn () =
-  match !current with
+let ctx_exn op =
+  match (state ()).cur with
   | Some c -> c
-  | None -> failwith "Sim: not inside a simulated run"
+  | None -> raise (Not_in_run op)
 
-let tid () = (ctx_exn ()).ctid
+let tid () = (ctx_exn "Sim.tid").ctid
 
 let now () =
-  let c = ctx_exn () in
+  let c = ctx_exn "Sim.now" in
   c.engine.clocks.(c.ctid) +. c.pending_cost
 
-let random_state () = (ctx_exn ()).engine.rng
-let steps_executed () = match !current with Some c -> c.engine.steps | None -> 0
+let random_state () = (ctx_exn "Sim.random_state").engine.rng
+
+let steps_executed () =
+  match (state ()).cur with Some c -> c.engine.steps | None -> 0
 
 let interrupt ~tid exn =
-  let c = ctx_exn () in
+  let c = ctx_exn "Sim.interrupt" in
   let e = c.engine in
   if tid < 0 || tid >= Array.length e.pending_intr then
     invalid_arg (Printf.sprintf "Sim.interrupt: tid %d out of range" tid);
@@ -258,7 +318,7 @@ let interrupt ~tid exn =
   e.pending_intr.(tid) <- Some exn
 
 let dispatches ~tid =
-  let c = ctx_exn () in
+  let c = ctx_exn "Sim.dispatches" in
   let e = c.engine in
   if tid < 0 || tid >= Array.length e.dispatch_counts then
     invalid_arg (Printf.sprintf "Sim.dispatches: tid %d out of range" tid);
@@ -280,7 +340,7 @@ let due_interrupt e tid =
       | _ -> None)
 
 let advance cost =
-  match !current with
+  match (state ()).cur with
   | None -> ()
   | Some c -> c.pending_cost <- c.pending_cost +. cost
 
@@ -298,43 +358,72 @@ let expensive_threshold = 10.0
    would stop yielding, every later decision would shift relative to the
    recorded schedule, and the replayed run would silently be a different
    interleaving. *)
+let ctx_step_as c ~switch cost =
+  c.pending_cost <- c.pending_cost +. cost;
+  c.since_yield <- c.since_yield + 1;
+  let must_switch =
+    match c.engine.policy with
+    | `Random -> true
+    | `Perf -> switch >= expensive_threshold || c.since_yield >= yield_stride
+  in
+  if must_switch then begin
+    c.since_yield <- 0;
+    Effect.perform Yield
+  end
+
 let step_as ~switch cost =
-  match !current with
+  match (state ()).cur with
   | None -> ()
-  | Some c ->
-      c.pending_cost <- c.pending_cost +. cost;
-      c.since_yield <- c.since_yield + 1;
-      let must_switch =
-        match c.engine.policy with
-        | `Random -> true
-        | `Perf ->
-            switch >= expensive_threshold || c.since_yield >= yield_stride
-      in
-      if must_switch then begin
-        c.since_yield <- 0;
-        Effect.perform Yield
-      end
+  | Some c -> ctx_step_as c ~switch cost
 
 let step cost = step_as ~switch:cost cost
 
-let mark_crashing e =
+(* ---- hot-path handle --------------------------------------------------
+   One DLS fetch amortized over the several engine consultations the
+   memory model makes per simulated instruction (tid, clock, step).  The
+   [domain_state] record is created once per domain and never replaced,
+   so a handle stays valid on its domain; it must simply never cross
+   domains (sim.mli). *)
+
+type handle = domain_state
+
+let handle () = state ()
+let h_in_sim h = h.cur <> None
+let h_tid h = match h.cur with Some c -> c.ctid | None -> 0
+
+let h_now h =
+  match h.cur with
+  | Some c -> c.engine.clocks.(c.ctid) +. c.pending_cost
+  | None -> 0.
+
+let h_step_as h ~switch cost =
+  match h.cur with None -> () | Some c -> ctx_step_as c ~switch cost
+
+let h_step h cost = h_step_as h ~switch:cost cost
+
+let mark_crashing st e =
   if not e.crashing then begin
     e.crashing <- true;
-    match !tracer with
+    match st.dtracer with
     | None -> ()
     | Some f -> f (Crash { step = e.steps })
   end
 
 let request_crash () =
-  let c = ctx_exn () in
-  mark_crashing c.engine;
+  let c = ctx_exn "Sim.request_crash" in
+  mark_crashing (state ()) c.engine;
   raise Crashed
 
 (* ---- the driver ------------------------------------------------------ *)
 
 let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
     ?(schedule = [||]) ?record ?divergence ?choose ?(interrupts = [||]) bodies =
-  if in_sim () then failwith "Sim.run: nested runs are not supported";
+  (* The whole run executes on the calling domain: [st] can be fetched
+     once and closed over.  One run per domain — concurrent runs live on
+     separate domains with separate [domain_state]s. *)
+  let st = state () in
+  if st.cur <> None then
+    failwith "Sim.run: nested runs are not supported (same domain)";
   let n = Array.length bodies in
   let intr_sched = Array.make (max n 1) [] in
   Array.iter
@@ -346,15 +435,23 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
       intr_sched.(tid) <-
         List.sort (fun (a, _) (b, _) -> compare a b) ((at, exn) :: intr_sched.(tid)))
     interrupts;
+  let cap = max 8 (2 * n) in
   let e =
     {
       policy;
+      (* The engine rng is a pure function of (seed, n): no state crosses
+         runs or domains, so campaigns may execute work items in any
+         order — or on any domain — and observe identical draws. *)
       rng = Random.State.make [| seed; 0x51ED; n |];
       clocks = Array.make (max n 1) 0.;
-      ready = Array.make (max 8 (2 * n)) (0., 0, 0);
+      ready_clock = Array.make cap 0.;
+      ready_seq = Array.make cap 0;
+      ready_slot = Array.make cap 0;
       ready_len = 0;
-      slots = Array.make (max 8 (2 * n)) None;
-      free_slots = List.init (max 8 (2 * n)) Fun.id;
+      slot_tid = Array.make cap (-1);
+      slot_fiber = Array.make cap dummy_fiber;
+      free_slots = Array.init cap (fun i -> cap - 1 - i);
+      free_top = cap;
       seq = 0;
       steps = 0;
       crash_at;
@@ -407,7 +504,7 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
                   end
                   else begin
                     if e.crash_at >= 1 && e.steps >= e.crash_at then
-                      mark_crashing e;
+                      mark_crashing st e;
                     if e.crashing then Effect.Deep.discontinue k Crashed
                     else begin
                       enqueue e i (Cont k);
@@ -423,19 +520,22 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
   done;
   let rec loop () =
     if e.ready_len > 0 then begin
-      let i, fiber = dequeue e in
+      let slot = dequeue e in
+      let i = e.slot_tid.(slot) in
+      let fiber = e.slot_fiber.(slot) in
+      release e slot;
       if e.crashing then begin
         (match fiber with
         | Thunk _ -> () (* never started: nothing volatile to unwind *)
         | Cont k ->
-            current := Some contexts.(i);
+            st.cur <- Some contexts.(i);
             ignore (Effect.Deep.discontinue k Crashed : status);
-            current := None);
+            st.cur <- None);
         loop ()
       end
       else begin
-        current := Some contexts.(i);
-        (match !tracer with
+        st.cur <- Some contexts.(i);
+        (match st.dtracer with
         | None -> ()
         | Some f ->
             f (Sched { step = e.steps; tid = i; clock = e.clocks.(i) }));
@@ -451,7 +551,7 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
             match due_interrupt e i with
             | Some exn -> ignore (Effect.Deep.discontinue k exn : status)
             | None -> ignore (Effect.Deep.continue k () : status)));
-        current := None;
+        st.cur <- None;
         loop ()
       end
     end
@@ -462,18 +562,21 @@ let run ?(policy = `Perf) ?(seed = 0) ?(crash_at = -1) ?(step_limit = -1)
   let teardown () =
     e.aborting <- true;
     while e.ready_len > 0 do
-      let i, fiber = dequeue e in
+      let slot = dequeue e in
+      let i = e.slot_tid.(slot) in
+      let fiber = e.slot_fiber.(slot) in
+      release e slot;
       match fiber with
       | Thunk _ -> () (* never started: nothing to unwind *)
       | Cont k ->
-          current := Some contexts.(i);
+          st.cur <- Some contexts.(i);
           (try ignore (Effect.Deep.discontinue k Step_limit : status)
            with _ -> ());
-          current := None
+          st.cur <- None
     done
   in
   Fun.protect
-    ~finally:(fun () -> current := None)
+    ~finally:(fun () -> st.cur <- None)
     (fun () ->
       try loop ()
       with exn ->

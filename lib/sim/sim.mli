@@ -15,7 +15,14 @@
 
     A run may be interrupted by a crash, either at a preset global step
     index or by a fiber calling {!request_crash}.  Crashed fibers are
-    discontinued with the {!Crashed} exception. *)
+    discontinued with the {!Crashed} exception.
+
+    {b Domain re-entrancy}: all ambient engine state is domain-local.
+    Each OCaml 5 domain may host its own independent {!run} — the
+    parallel campaign driver ({!Harness.Parallel}) runs one simulation
+    per worker domain — and no run observes another domain's scheduler
+    state, clocks, or tracer.  Nested runs on the {e same} domain remain
+    rejected. *)
 
 exception Crashed
 (** Raised inside a fiber when a system-wide crash interrupts it. *)
@@ -23,6 +30,13 @@ exception Crashed
 exception Step_limit
 (** Raised out of {!run} when the global step budget is exhausted —
     a watchdog that turns livelocks into test failures. *)
+
+exception Not_in_run of string
+(** Raised by accessors that only make sense inside a simulated fiber
+    ({!tid}, {!now}, {!random_state}, {!interrupt}, {!dispatches},
+    {!request_crash}) when called outside a run.  The payload names the
+    offending operation (e.g. ["Sim.tid"]) so misuse from hooks or
+    metrics paths is diagnosable at the call site. *)
 
 type outcome =
   | All_done      (** every fiber ran to completion *)
@@ -34,10 +48,12 @@ type trace_event =
       (** fiber [tid] was dispatched at global step [step] *)
   | Crash of { step : int }  (** the system-wide crash boundary *)
 
-val tracer : (trace_event -> unit) option ref
+val set_tracer : (trace_event -> unit) option -> unit
 (** Observability hook (see {!Harness.Trace}): when set, the engine calls
-    it on every scheduling decision and at the crash boundary.  The
-    disabled path costs a single ref read per dispatch — no allocation. *)
+    it on every scheduling decision and at the crash boundary.  The hook
+    is {e domain-local} — installing a tracer affects runs on the calling
+    domain only.  The disabled path costs a single domain-local read per
+    dispatch — no allocation. *)
 
 val run :
   ?policy:[ `Perf | `Random ] ->
@@ -94,11 +110,50 @@ val run :
 val in_sim : unit -> bool
 (** Whether the caller is executing inside a simulated fiber. *)
 
+(** {2 Hot-path handle}
+
+    Every ambient accessor above pays one domain-local ([Domain.DLS])
+    fetch.  That is negligible in isolation but the memory model
+    ({!Nvm.Pmem}) consults the engine several times {e per simulated
+    instruction} — tid, clock, then a step — and exploration campaigns
+    execute hundreds of millions of instructions.  A {!handle} is the
+    calling domain's ambient engine state fetched {e once}; the [h_]*
+    accessors below are then plain field reads with no further lookups.
+
+    A handle is only meaningful on the domain that fetched it, and it
+    stays valid for that domain's lifetime (the underlying record is
+    created once per domain and mutated in place, never replaced).
+    Caching one in a {e domain-local} structure is fine — {!Nvm.Pmem}
+    does — but a handle must never cross domains. *)
+
+type handle
+(** The calling domain's ambient engine state (one domain-local fetch). *)
+
+val handle : unit -> handle
+(** Fetch the calling domain's handle. *)
+
+val h_in_sim : handle -> bool
+(** [h_in_sim h] = {!in_sim}[ ()], without the domain-local fetch. *)
+
+val h_tid : handle -> int
+(** Like {!tid} but returns [0] outside a run (the convention real
+    executions use for "the only thread"). *)
+
+val h_now : handle -> float
+(** Like {!now} but returns [0.] outside a run. *)
+
+val h_step : handle -> float -> unit
+(** [h_step h cost] = {!step}[ cost], without the domain-local fetch. *)
+
+val h_step_as : handle -> switch:float -> float -> unit
+(** [h_step_as h ~switch cost] = {!step_as}[ ~switch cost], without the
+    domain-local fetch. *)
+
 val tid : unit -> int
-(** Logical thread id of the calling fiber.  @raise Failure outside a run. *)
+(** Logical thread id of the calling fiber.  @raise Not_in_run outside a run. *)
 
 val now : unit -> float
-(** Virtual clock (ns) of the calling fiber.  @raise Failure outside a run. *)
+(** Virtual clock (ns) of the calling fiber.  @raise Not_in_run outside a run. *)
 
 val step : float -> unit
 (** Charge [cost] virtual nanoseconds to the calling fiber and give the
@@ -125,7 +180,7 @@ val request_crash : unit -> 'a
 val random_state : unit -> Random.State.t
 (** The run's seeded RNG (for adversarial choices made by the memory
     model, e.g. which outstanding write-backs survive a crash).
-    @raise Failure outside a run. *)
+    @raise Not_in_run outside a run. *)
 
 val steps_executed : unit -> int
 (** Global steps executed so far in the current run (0 outside a run).
@@ -144,7 +199,7 @@ val interrupt : tid:int -> exn -> unit
     again, or has already finished, never observes the interrupt.
     Interrupting the calling fiber itself raises [exn] immediately.
     @raise Invalid_argument if [tid] is out of range.
-    @raise Failure outside a run. *)
+    @raise Not_in_run outside a run. *)
 
 val dispatches : tid:int -> int
 (** Number of times fiber [tid] has been dispatched so far in the current
@@ -152,4 +207,4 @@ val dispatches : tid:int -> int
     points: a crash-free run's final count bounds the meaningful
     1-based dispatch indices for that fiber.
     @raise Invalid_argument if [tid] is out of range.
-    @raise Failure outside a run. *)
+    @raise Not_in_run outside a run. *)

@@ -260,37 +260,43 @@ let wb_label = function
   | `Prefix n -> Printf.sprintf "prefix:%d" n
 
 let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
-    ?(dispatch_budget = 64) cfg =
+    ?(dispatch_budget = 64) ?(jobs = 1) cfg =
   match run { cfg with crash = None } with
   | Error msg -> Error ("explore: crash-free baseline failed: " ^ msg)
   | Ok _ ->
-      let executions = ref 0 in
-      let fired = ref 0 in
-      let failures = ref 0 in
-      let first_failure = ref None in
-      let first_cex = ref None in
-      let fail cfg' msg =
-        incr failures;
-        if !first_failure = None then begin
-          first_failure := Some msg;
-          (* Re-run the counterexample recording its schedule so the
-             caller can save a replayable repro; the seed pins the
-             interleaving, so this reproduces the same failure.  The
-             stored error is the bare one a replay will observe, not
-             the "victim/dispatch/wb"-prefixed display string. *)
-          let sched = ref [] in
-          let bare =
-            match run ~record:(fun c -> sched := c :: !sched) cfg' with
-            | Error e -> e
-            | Ok r when r.Slo.lost > 0 ->
-                Printf.sprintf "%d lost requests" r.Slo.lost
-            | Ok _ -> msg
-          in
-          first_cex := Some (cfg', Array.of_list (List.rev !sched), bare)
-        end
-      in
-      let max_dispatch = Array.make cfg.shards 0 in
-      for victim = 0 to cfg.shards - 1 do
+      (* One victim's sweep is independent of every other victim's (each
+         execution rebuilds the store from the seed), so victims are the
+         parallel work items: results merge per victim index and the
+         reported first counterexample is the lowest victim's first, which
+         is exactly the sequential visit order — output is byte-identical
+         at every [jobs] value. *)
+      let sweep_victim victim =
+        let executions = ref 0 in
+        let fired = ref 0 in
+        let failures = ref 0 in
+        let first_failure = ref None in
+        let first_cex = ref None in
+        let fail cfg' msg =
+          incr failures;
+          if !first_failure = None then begin
+            first_failure := Some msg;
+            (* Re-run the counterexample recording its schedule so the
+               caller can save a replayable repro; the seed pins the
+               interleaving, so this reproduces the same failure.  The
+               stored error is the bare one a replay will observe, not
+               the "victim/dispatch/wb"-prefixed display string. *)
+            let sched = ref [] in
+            let bare =
+              match run ~record:(fun c -> sched := c :: !sched) cfg' with
+              | Error e -> e
+              | Ok r when r.Slo.lost > 0 ->
+                  Printf.sprintf "%d lost requests" r.Slo.lost
+              | Ok _ -> msg
+            in
+            first_cex := Some (cfg', Array.of_list (List.rev !sched), bare)
+          end
+        in
+        let max_dispatch = ref 0 in
         let k = ref 1 in
         let continue = ref true in
         while !continue && !k <= dispatch_budget do
@@ -320,12 +326,36 @@ let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
                          victim !k (wb_label wb) report.Slo.lost))
             wbs;
           if !fired_here then begin
-            max_dispatch.(victim) <- !k;
+            max_dispatch := !k;
             incr k
           end
           else continue := false
-        done
-      done;
+        done;
+        (!executions, !fired, !failures, !first_failure, !first_cex,
+         !max_dispatch)
+      in
+      let per_victim =
+        Parallel.run ~jobs
+          (fun _ v -> sweep_victim v)
+          (Array.init cfg.shards (fun v -> v))
+      in
+      let executions = ref 0 in
+      let fired = ref 0 in
+      let failures = ref 0 in
+      let first_failure = ref None in
+      let first_cex = ref None in
+      let max_dispatch = Array.make cfg.shards 0 in
+      Array.iteri
+        (fun v (ex, fi, fa, ff, cex, md) ->
+          executions := !executions + ex;
+          fired := !fired + fi;
+          failures := !failures + fa;
+          if !first_failure = None then begin
+            first_failure := ff;
+            first_cex := cex
+          end;
+          max_dispatch.(v) <- md)
+        per_victim;
       Ok
         {
           ex_executions = !executions;

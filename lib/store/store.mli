@@ -73,6 +73,7 @@ type explore_stats = {
 val explore :
   ?wbs:[ `Rng | `Drop | `All | `Prefix of int ] list ->
   ?dispatch_budget:int ->
+  ?jobs:int ->
   config ->
   (explore_stats, string) result
 (** Bounded exhaustive sweep of shard-local crash points: every victim
@@ -82,4 +83,9 @@ val explore :
     execution must resolve every request to a definite outcome; failures
     are counted and the first counterexample (victim, dispatch, wb,
     error) is reported.  [cfg.crash] is ignored; the seed pins the
-    schedule so counterexamples replay. *)
+    schedule so counterexamples replay.
+
+    [jobs] (default 1) fans the per-victim sweeps across domains
+    ([Harness.Parallel]); stats merge per victim index and the first
+    counterexample is the lowest victim's, so the result is
+    byte-identical at every [jobs] value. *)

@@ -24,4 +24,5 @@ let () =
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
       ("store", Test_store.suite);
+      ("parallel", Test_parallel.suite);
     ]

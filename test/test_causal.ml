@@ -104,13 +104,13 @@ let test_with_scaled_restores_on_raise () =
          Alcotest.(check (float 1e-9)) "category mult installed" 2.
            (Pstats.category_mult Pstats.High);
          Alcotest.(check bool) "cost table tweaked" false
-           (Cost.is_default Cost.current);
+           (Cost.is_default (Cost.current ()));
          raise Exit)
    with Exit -> ());
   Alcotest.(check bool) "site+category multipliers restored" true
     (Pstats.all_multipliers_default ());
   Alcotest.(check bool) "cost table restored" true
-    (Cost.is_default Cost.current)
+    (Cost.is_default (Cost.current ()))
 
 let test_with_scaled_rejects_unknown () =
   Alcotest.check_raises "unknown site"
@@ -148,7 +148,7 @@ let test_raising_measurement_leaks_nothing () =
   Alcotest.(check bool) "multipliers restored" true
     (Pstats.all_multipliers_default ());
   Alcotest.(check bool) "cost table restored" true
-    (Cost.is_default Cost.current);
+    (Cost.is_default (Cost.current ()));
   Alcotest.(check bool) "all sites enabled" true
     (List.for_all Pstats.enabled (Pstats.sites ()))
 

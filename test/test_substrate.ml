@@ -62,12 +62,12 @@ let test_pvar_bounds () =
   | exception Invalid_argument _ -> ()
 
 let test_cost_with_table_restores () =
-  let before = Cost.current.Cost.pwb_steal in
+  let before = (Cost.current ()).Cost.pwb_steal in
   Cost.with_table
     (fun c -> c.Cost.pwb_steal <- 1.)
     (fun () ->
-      Alcotest.(check (float 0.001)) "tweaked" 1. Cost.current.Cost.pwb_steal);
-  Alcotest.(check (float 0.001)) "restored" before Cost.current.Cost.pwb_steal;
+      Alcotest.(check (float 0.001)) "tweaked" 1. (Cost.current ()).Cost.pwb_steal);
+  Alcotest.(check (float 0.001)) "restored" before (Cost.current ()).Cost.pwb_steal;
   (* restores even on exception *)
   (try
      Cost.with_table
@@ -75,7 +75,7 @@ let test_cost_with_table_restores () =
        (fun () -> failwith "boom")
    with Failure _ -> ());
   Alcotest.(check bool) "restored after raise" true
-    (Cost.current.Cost.cache_hit <> 99.)
+    ((Cost.current ()).Cost.cache_hit <> 99.)
 
 type dnode = { line : Pmem.line; info : dnode Desc.state Pmem.t }
 
