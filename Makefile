@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke
 
 build:
 	dune build
@@ -63,6 +63,24 @@ parbench-smoke:
 	dune exec bin/repro.exe -- serve --shards 2 --clients 2 --ops 12 \
 	  --keys 16 --explore --dispatch-budget 48 -j 2 > _build/parbench-serve-j2.txt
 	cmp _build/parbench-serve-j1.txt _build/parbench-serve-j2.txt
+
+# Memento framework smoke: both derived structures must survive crash
+# campaigns with oracle verification and exhaust a single-threaded
+# exploration tree (no scheduling choices, so every crash point x
+# write-back resolution is covered, including the deep confirm-side
+# ones); the negative control with the checkpoint persist elided must
+# be caught by the same exploration (nonzero exit).
+memento-smoke:
+	dune exec bin/repro.exe -- crash -a memento-list --seeds 30 -t 4 \
+	  --ops 10 --keys 24 --crashes 3
+	dune exec bin/repro.exe -- crash -a memento-comb --seeds 30 -t 4 \
+	  --ops 10 --keys 24 --crashes 3
+	dune exec bin/repro.exe -- explore -a memento-list -t 1 --ops 3 \
+	  --keys 3 --prefill 0 --preemptions 0 --crashes 1 --wb 2 --max-execs 0
+	dune exec bin/repro.exe -- explore -a memento-comb -t 1 --ops 3 \
+	  --keys 3 --prefill 0 --preemptions 0 --crashes 1 --wb 2 --max-execs 0
+	! dune exec bin/repro.exe -- explore -a memento-broken -t 1 --ops 3 \
+	  --keys 3 --prefill 0 --preemptions 0 --crashes 1 --wb 2 --max-execs 0
 
 clean:
 	dune clean

@@ -236,7 +236,12 @@ let run_extras ~quick =
     in
     (match Sim.run ~policy:`Perf (Array.make n body) with
     | Sim.All_done -> ()
-    | Sim.Crashed_at _ -> assert false);
+    | Sim.Crashed_at step ->
+        failwith
+          (Printf.sprintf
+             "queue bench: crash injected at step %d, but throughput runs \
+              configure no crash point"
+             step));
     float_of_int !ops /. duration *. 1000.
   in
   let stack_rate n =
@@ -262,7 +267,12 @@ let run_extras ~quick =
     in
     (match Sim.run ~policy:`Perf (Array.make n body) with
     | Sim.All_done -> ()
-    | Sim.Crashed_at _ -> assert false);
+    | Sim.Crashed_at step ->
+        failwith
+          (Printf.sprintf
+             "stack bench: crash injected at step %d, but throughput runs \
+              configure no crash point"
+             step));
     float_of_int !ops /. duration *. 1000.
   in
   table "[extension] recoverable queue and stack, 50/50 mixes (Mops/s)"
@@ -290,7 +300,12 @@ let run_extras ~quick =
     in
     (match Sim.run ~policy:`Perf (Array.make n body) with
     | Sim.All_done -> ()
-    | Sim.Crashed_at _ -> assert false);
+    | Sim.Crashed_at step ->
+        failwith
+          (Printf.sprintf
+             "exchanger bench: crash injected at step %d, but throughput \
+              runs configure no crash point"
+             step));
     float_of_int !swaps /. duration *. 1000.
   in
   table "[extension] exchanger rendezvous rate (Mops/s)"
@@ -378,6 +393,25 @@ let run_extras ~quick =
       ("tracking shards", List.map (store_rate Set_intf.tracking) shard_sweep);
       ( "capsules-opt shards",
         List.map (store_rate Set_intf.capsules_opt) shard_sweep );
+    ];
+
+  (* Extension 9: two detectability frameworks over the same structure —
+     the paper's Tracking transformation against the Memento-composed
+     List-mmt and the combining Comb-mmt.  Same mix, same sweep, so the
+     per-framework overhead (helping + checkpoints vs phase tracking)
+     reads straight across the rows. *)
+  table "[extension] detectability frameworks, update-intensive (Mops/s)"
+    [
+      ( "tracking",
+        List.map (fun n -> thr Set_intf.tracking ~threads:n ~duration ui) sweep );
+      ( "memento-list",
+        List.map
+          (fun n -> thr Set_intf.memento_list ~threads:n ~duration ui)
+          sweep );
+      ( "memento-comb",
+        List.map
+          (fun n -> thr Set_intf.memento_comb ~threads:n ~duration ui)
+          sweep );
     ]
 
 (* ---- wall-clock campaign suite (-j scaling) ---------------------------- *)

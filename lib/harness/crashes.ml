@@ -85,8 +85,9 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
   let events = ref [] in
   let recovered = ref 0 in
   let crashes = ref 0 in
-  (* The system's durable invocation bookkeeping: the pending operation it
-     will re-supply to Op.Recover, and each thread's remaining script. *)
+  (* The system's durable invocation bookkeeping: the pending operation
+     it will re-supply after a crash together with the framework's own
+     token for it ([note_begin]), and each thread's remaining script. *)
   let pending = Array.make cfg.threads None in
   let remaining =
     Array.init cfg.threads (fun t ->
@@ -101,7 +102,7 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
       match !(remaining.(tid)) with
       | [] -> ()
       | op :: rest ->
-          pending.(tid) <- Some op;
+          pending.(tid) <- Some (op, algo.Set_intf.note_begin op);
           Metrics.op_begin ~kind:(Metrics.kind_of_op op)
             ~key:(Set_intf.op_key op);
           let ok = Set_intf.apply algo op in
@@ -116,9 +117,9 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
   let recoverer tid (_ : int) =
     (match pending.(tid) with
     | None -> ()
-    | Some op ->
+    | Some (op, token) ->
         Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key op);
-        let ok = algo.Set_intf.recover op in
+        let ok = algo.Set_intf.recover token in
         Metrics.op_end ~ok;
         record op ok;
         incr recovered;

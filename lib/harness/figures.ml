@@ -459,6 +459,45 @@ let fig_latency cfg mix =
     series;
   }
 
+(* Beyond the paper: two detectability frameworks over the same
+   structure.  Tracking (the paper's transformation) against the Memento
+   derivations — List-mmt (same Harris list, composed from checkpoints
+   and detectable CASes) and Comb-mmt (flat combining under one
+   detectable root CAS).  Throughput and psync counts in one figure so
+   the framework overhead comparison reads directly. *)
+let framework_factories = Set_intf.[ tracking; memento_list; memento_comb ]
+
+let fig_frameworks cfg mix =
+  {
+    id =
+      "8"
+      ^ (if mix.Workload.name = Workload.read_intensive.Workload.name then "r"
+         else "u");
+    title = "Detectability frameworks compared, " ^ mix.Workload.name;
+    ylabel = "Mops/s";
+    threads = cfg.sweep;
+    series =
+      List.concat_map
+        (fun f ->
+          [
+            {
+              label = f.Set_intf.fname;
+              values =
+                List.map
+                  (fun n -> (n, (full cfg f ~threads:n mix).thr))
+                  cfg.sweep;
+            };
+            {
+              label = f.Set_intf.fname ^ " psyncs/op";
+              values =
+                List.map
+                  (fun n -> (n, (full cfg f ~threads:n mix).psyncs))
+                  cfg.sweep;
+            };
+          ])
+        framework_factories;
+  }
+
 let all cfg =
   let mixes = [ Workload.read_intensive; Workload.update_intensive ] in
   List.concat_map
@@ -480,3 +519,4 @@ let all cfg =
         ])
       mixes
   @ List.map (fun mix -> fig_latency cfg mix) mixes
+  @ List.map (fun mix -> fig_frameworks cfg mix) mixes

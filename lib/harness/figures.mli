@@ -67,6 +67,11 @@ val fig_latency : config -> Workload.mix -> figure
 (** Beyond-paper figure 7: p50/p99 operation latency per thread count,
     measured with [Metrics] enabled (and disabled again on return). *)
 
+val fig_frameworks : config -> Workload.mix -> figure
+(** Beyond-paper figure 8r/8u: the two detectability frameworks over one
+    structure — Tracking against the Memento-composed List-mmt and
+    Comb-mmt — throughput and psyncs/op per thread count. *)
+
 val classification :
   config -> Workload.mix -> Set_intf.factory ->
   (string * Pstats.category * float) list
@@ -75,4 +80,4 @@ val classification :
 
 val all : config -> figure list
 (** Every figure of the paper, in order: 3a–3f, 4a–4f, 5, 6, plus the
-    beyond-paper latency figures 7r/7u. *)
+    beyond-paper latency figures 7r/7u and framework comparison 8r/8u. *)

@@ -7,12 +7,31 @@ let pp_op ppf = function
   | Del k -> Format.fprintf ppf "delete(%d)" k
   | Fnd k -> Format.fprintf ppf "find(%d)" k
 
+(* The system's durable invocation bookkeeping is framework-shaped:
+   Tracking's recovery re-runs the operation itself, while Memento needs
+   the invocation timestamp the system captured before the op began.
+   [note_begin] produces the framework's own token at the moment the
+   system durably notes the pending operation; [recover] consumes it.
+   The type is extensible so further frameworks slot in without touching
+   the harness. *)
+type pending = ..
+type pending += Op of op
+type pending += Mmt of { mop : op; mseq : int }
+
+let op_only name recover_op = function
+  | Op op -> recover_op op
+  | _ ->
+      invalid_arg
+        (name ^ ": foreign pending token (this framework expects its own \
+                 note_begin token)")
+
 type t = {
   name : string;
   insert : int -> bool;
   delete : int -> bool;
   find : int -> bool;
-  recover : op -> bool;
+  note_begin : op -> pending;
+  recover : pending -> bool;
   recover_structure : unit -> unit;
   check : unit -> (unit, string) result;
   contents : unit -> int list;
@@ -40,7 +59,8 @@ let tracking =
           insert = L.insert l;
           delete = L.delete l;
           find = L.find l;
-          recover = (fun op -> L.recover l (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "tracking" (fun op -> L.recover l (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
@@ -65,7 +85,8 @@ let tracking_bst =
           insert = T.insert t;
           delete = T.delete t;
           find = T.find t;
-          recover = (fun op -> T.recover t (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "tracking-bst" (fun op -> T.recover t (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> T.check_invariants t);
           contents = (fun () -> T.to_list t);
@@ -92,7 +113,8 @@ let tracking_no_ro_opt =
           insert = L.insert l;
           delete = L.delete l;
           find = L.find l;
-          recover = (fun op -> L.recover l (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "tracking-noopt" (fun op -> L.recover l (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
@@ -126,7 +148,8 @@ let tracking_broken =
           insert = L.insert l;
           delete = L.delete l;
           find = L.find l;
-          recover = (fun op -> L.recover l (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "tracking-broken" (fun op -> L.recover l (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
@@ -151,7 +174,8 @@ let tracking_hash =
           insert = H.insert h;
           delete = H.delete h;
           find = H.find h;
-          recover = (fun op -> H.recover h (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "tracking-hash" (fun op -> H.recover h (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> H.check_invariants h);
           contents = (fun () -> List.sort compare (H.to_list h));
@@ -175,7 +199,8 @@ let capsules_factory name variant =
           insert = Capsules.insert c;
           delete = Capsules.delete c;
           find = Capsules.find c;
-          recover = (fun op -> Capsules.recover c (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only name (fun op -> Capsules.recover c (conv op));
           recover_structure = (fun () -> ());
           check = (fun () -> Capsules.check_invariants c);
           contents = (fun () -> Capsules.to_list c);
@@ -202,7 +227,8 @@ let romulus =
           insert = Romulus.insert r;
           delete = Romulus.delete r;
           find = Romulus.find r;
-          recover = (fun op -> Romulus.recover r (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "romulus" (fun op -> Romulus.recover r (conv op));
           recover_structure = (fun () -> Romulus.recover_structure r);
           check = (fun () -> Romulus.check_invariants r);
           contents = (fun () -> Romulus.to_list r);
@@ -226,7 +252,8 @@ let redo =
           insert = Redo.insert r;
           delete = Redo.delete r;
           find = Redo.find r;
-          recover = (fun op -> Redo.recover r (conv op));
+          note_begin = (fun op -> Op op);
+          recover = op_only "redo-opt" (fun op -> Redo.recover r (conv op));
           recover_structure = (fun () -> Redo.recover_structure r);
           check = (fun () -> Redo.check_invariants r);
           contents = (fun () -> Redo.to_list r);
@@ -245,12 +272,104 @@ let harris_volatile =
           insert = Harris.insert l;
           delete = Harris.delete l;
           find = Harris.find l;
+          note_begin = (fun op -> Op op);
           recover =
             (fun _ -> invalid_arg "harris: volatile list cannot recover");
           recover_structure = (fun () -> ());
           check = (fun () -> Harris.check_invariants l);
           contents = (fun () -> Harris.to_list l);
           supports_crash = false;
+        });
+  }
+
+(* ---- the Memento framework (lib/memento) ------------------------------- *)
+
+(* Memento's pending token is the invocation timestamp captured before
+   the operation starts: recovery replays the crashed invocation under
+   that timestamp, so its checkpoints and detectable-CAS outcomes
+   short-circuit instead of re-executing. *)
+
+let memento_list_factory fname ~prefix ~disable_site =
+  {
+    fname;
+    make =
+      (fun heap ~threads ->
+        let module L = Mlist.Int in
+        let l = L.create ~prefix heap ~threads in
+        (match disable_site with
+        | None -> ()
+        | Some site -> (
+            match Pstats.find site with
+            | Some s -> Pstats.set_enabled s false
+            | None -> ()));
+        let conv = function
+          | Ins k -> L.Insert k
+          | Del k -> L.Delete k
+          | Fnd k -> L.Find k
+        in
+        {
+          name = fname;
+          insert = L.insert l;
+          delete = L.delete l;
+          find = L.find l;
+          note_begin = (fun op -> Mmt { mop = op; mseq = L.next_invocation l });
+          recover =
+            (function
+            | Mmt { mop; mseq } -> L.recover l ~mseq (conv mop)
+            | _ ->
+                invalid_arg
+                  (fname
+                 ^ ": foreign pending token (expects its note_begin \
+                    timestamp)"));
+          recover_structure = (fun () -> ());
+          check = (fun () -> L.check_invariants l);
+          contents = (fun () -> L.to_list l);
+          supports_crash = true;
+        });
+  }
+
+let memento_list =
+  memento_list_factory "memento-list" ~prefix:"mlist" ~disable_site:None
+
+(* Negative control: List-mmt with the checkpoint persist elided.  The
+   detectable CAS then confirms (durably untags) a success whose result
+   checkpoint never reaches NVM: a crash in that window leaves the
+   insert's effect durable with no durable evidence, so the replay
+   returns the wrong answer and campaigns MUST flag an oracle
+   violation — the Memento mirror of [tracking_broken]. *)
+let memento_broken =
+  memento_list_factory "memento-broken" ~prefix:"mmt-broken"
+    ~disable_site:(Some "mmt-broken.cp.pwb")
+
+let memento_comb =
+  {
+    fname = "memento-comb";
+    make =
+      (fun heap ~threads ->
+        let module C = Mcomb.Int in
+        let c = C.create heap ~threads in
+        let conv = function
+          | Ins k -> C.Insert k
+          | Del k -> C.Delete k
+          | Fnd k -> C.Find k
+        in
+        {
+          name = "memento-comb";
+          insert = C.insert c;
+          delete = C.delete c;
+          find = C.find c;
+          note_begin = (fun op -> Mmt { mop = op; mseq = C.next_invocation c });
+          recover =
+            (function
+            | Mmt { mop; mseq } -> C.recover c ~mseq (conv mop)
+            | _ ->
+                invalid_arg
+                  "memento-comb: foreign pending token (expects its \
+                   note_begin timestamp)");
+          recover_structure = (fun () -> ());
+          check = (fun () -> C.check_invariants c);
+          contents = (fun () -> C.to_list c);
+          supports_crash = true;
         });
   }
 
@@ -266,6 +385,9 @@ let all =
     tracking_no_ro_opt;
     tracking_hash;
     tracking_broken;
+    memento_list;
+    memento_comb;
+    memento_broken;
   ]
 
 let names () = List.map (fun f -> f.fname) all

@@ -1,12 +1,25 @@
 (** The uniform recoverable-set interface under which the harness drives
     every evaluated implementation (paper §5): Tracking, Capsules,
-    Capsules-Opt, Romulus, RedoOpt, plus the volatile Harris list as the
-    persistence-free yardstick. *)
+    Capsules-Opt, Romulus, RedoOpt, the Memento framework's List-mmt and
+    combining set, plus the volatile Harris list as the persistence-free
+    yardstick. *)
 
 type op = Ins of int | Del of int | Fnd of int
 
 val op_key : op -> int
 val pp_op : Format.formatter -> op -> unit
+
+(** The framework-specific durable pending token.  The harness plays the
+    role of the system's invocation bookkeeping: just before invoking an
+    operation it stores [note_begin op] as the pending record, and after
+    a crash it hands exactly that token back to [recover].  Tracking only
+    needs the operation itself ({!Op}); Memento needs the invocation
+    timestamp captured before the op began ({!Mmt}).  Extensible so
+    further frameworks slot in without touching the harness. *)
+type pending = ..
+
+type pending += Op of op
+type pending += Mmt of { mop : op; mseq : int }
 
 (** One live instance, closed over its heap and thread count. *)
 type t = {
@@ -14,8 +27,12 @@ type t = {
   insert : int -> bool;
   delete : int -> bool;
   find : int -> bool;
-  recover : op -> bool;
-      (** detectable recovery of the calling thread's crashed op *)
+  note_begin : op -> pending;
+      (** the durable pending token for [op], captured by the system
+          immediately before the operation is invoked *)
+  recover : pending -> bool;
+      (** detectable recovery of the calling thread's crashed op, from
+          the token [note_begin] produced for it *)
   recover_structure : unit -> unit;
       (** single-threaded post-crash repair (Romulus restore, Redo log
           replay); a no-op for the lock-free algorithms *)
@@ -51,6 +68,19 @@ val capsules_opt : factory
 val romulus : factory
 val redo : factory
 val harris_volatile : factory
+
+val memento_list : factory
+(** List-mmt: the Harris list composed from the Memento primitives
+    (detectable checkpoint + detectable CAS, [lib/memento]). *)
+
+val memento_comb : factory
+(** Comb-mmt: the Memento combining set — all operations flattened
+    through a single combiner and one detectable CAS per batch. *)
+
+val memento_broken : factory
+(** Negative control: List-mmt with the checkpoint persist elided, the
+    Memento mirror of {!tracking_broken} — crash campaigns and explore
+    {e must} flag a detectability (oracle) violation.  Never plotted. *)
 
 val all : factory list
 val names : unit -> string list

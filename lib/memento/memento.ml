@@ -1,0 +1,275 @@
+(* The rival framework: composable detectability in the style of Memento
+   (PLDI 2023; see PAPERS.md).  Where the Tracking transformation persists
+   helping descriptors and replays a phase machine, Memento composes two
+   primitives through ordinary control flow:
+
+   - a detectable {e checkpoint} — a per-thread single-assignment cell
+     keyed by (thread, invocation timestamp): the first execution computes
+     and durably records a value, every post-crash replay of the same
+     invocation returns the recorded value instead of recomputing;
+
+   - a detectable {e CAS} — a CAS whose success survives a crash: the
+     winning value carries a (thread, timestamp, slot) tag, readers help
+     by persisting the link and recording the outcome on the winner's
+     board before untagging, and a replay consults board and tag before
+     ever re-executing.
+
+   The "timestamp" is a durable per-thread invocation counter, bumped by
+   system support at operation start ({!Pmem.system_persist}) — the same
+   footnote-1 system support Tracking uses for [CP_q := 0].  State from a
+   previous completed invocation carries an older timestamp and is
+   therefore dead on arrival; state from the crashed invocation carries
+   the current one and replays.
+
+   Everything below runs on the simulated NVM substrate unchanged:
+   [Pmem.crash] adversarial write-back resolutions, heap-scoped crashes
+   and poisoned never-persisted fields all apply to these primitives
+   exactly as they do to Tracking's descriptors. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+end
+
+type sites = {
+  init_pwb : Pstats.site;
+  init_sync : Pstats.site;
+  cp_fence : Pstats.site;  (* checkpoint payload ordered before the cell *)
+  cp_pwb : Pstats.site;
+  cp_sync : Pstats.site;
+  prep_fence : Pstats.site;  (* prepared values ordered before the link CAS *)
+  tag_pwb : Pstats.site;  (* winner persists the tagged link *)
+  tag_sync : Pstats.site;
+  help_pwb : Pstats.site;  (* helper persists the link before recording *)
+  help_sync : Pstats.site;
+  rec_pwb : Pstats.site;  (* outcome record on the winner's board *)
+  rec_sync : Pstats.site;
+  detag_pwb : Pstats.site;
+}
+
+let sites prefix =
+  let pwb n = Pstats.make Pstats.Pwb (prefix ^ "." ^ n) in
+  let fence n = Pstats.make Pstats.Pfence (prefix ^ "." ^ n) in
+  let sync n = Pstats.make Pstats.Psync (prefix ^ "." ^ n) in
+  {
+    init_pwb = pwb "init.pwb";
+    init_sync = sync "init.psync";
+    cp_fence = fence "cp.pfence";
+    cp_pwb = pwb "cp.pwb";
+    cp_sync = sync "cp.psync";
+    prep_fence = fence "dcas.prep.pfence";
+    tag_pwb = pwb "dcas.tag.pwb";
+    tag_sync = sync "dcas.tag.psync";
+    help_pwb = pwb "dcas.help.pwb";
+    help_sync = sync "dcas.help.psync";
+    rec_pwb = pwb "dcas.record.pwb";
+    rec_sync = sync "dcas.record.psync";
+    detag_pwb = pwb "dcas.detag.pwb";
+  }
+
+(* A recorded CAS outcome on a thread's board: invocation [oseq], call
+   site [oslot].  Only successes are ever recorded — a failed CAS leaves
+   no durable trace and simply retries on replay. *)
+type outcome = { oseq : int; oslot : int; ores : bool }
+
+(* The tag a winning CAS leaves on the location until the outcome is
+   durable elsewhere (the winner's result checkpoint, or its board). *)
+type tag = { wtid : int; wseq : int; wslot : int }
+
+type ctx = {
+  threads : int;
+  heap : Pmem.heap;
+  s : sites;
+  seqs : int Pvar.t;  (* durable invocation counters (system-maintained) *)
+  boards : outcome option Pvar.t;  (* per-thread CAS outcome boards *)
+}
+
+let make ?(prefix = "mmt") heap ~threads =
+  {
+    threads;
+    heap;
+    s = sites prefix;
+    seqs = Pvar.make ~name:(prefix ^ ".seq") heap ~threads 0;
+    boards = Pvar.make ~name:(prefix ^ ".board") heap ~threads None;
+  }
+
+type handle = {
+  tid : int;
+  seq_c : int Pmem.t;
+  board_c : outcome option Pmem.t;
+  ctx : ctx;
+}
+
+let handle ctx tid =
+  {
+    tid;
+    seq_c = Pvar.cell ctx.seqs tid;
+    board_c = Pvar.cell ctx.boards tid;
+    ctx;
+  }
+
+let my_handle ctx = handle ctx (if Sim.in_sim () then Sim.tid () else 0)
+
+let next_invocation h = Pmem.peek h.seq_c + 1
+
+(* Durably open a fresh invocation.  Crash-atomic and uncounted
+   (system support, paper §2 footnote 1): performed before any
+   interruptible step, so no crash can observe the invocation running
+   under the previous timestamp. *)
+let begin_op h =
+  let seq = next_invocation h in
+  Pmem.system_persist h.seq_c seq;
+  Sim.step (Cost.current ()).Cost.op_overhead;
+  seq
+
+(* Detectable recovery gate shared by every Memento structure.  [mseq] is
+   the invocation timestamp the system captured when it durably noted the
+   pending operation (the harness's [note_begin] token).  If the durable
+   counter equals it, the crashed invocation had begun: replay it under
+   the same timestamp, so its checkpoints and CAS outcomes are honored.
+   If the counter is one behind, the crash hit before [begin_op]: this is
+   the first execution.  Anything else means the system re-supplied an
+   operation that is not the crashed one. *)
+let recover h ~mseq ~run =
+  let s = Pmem.read h.seq_c in
+  if s = mseq then run ~seq:s
+  else if s = mseq - 1 then run ~seq:(begin_op h)
+  else
+    failwith
+      (Printf.sprintf
+         "Memento.recover: durable invocation counter %d cannot belong to \
+          pending token %d — the system must re-supply exactly the crashed \
+          operation (counter = token, or token-1 if it never began)"
+         s mseq)
+
+module Checkpoint = struct
+  type 'a saved = { cseq : int; v : 'a }
+  type 'a t = { cells : 'a saved option Pvar.t; cctx : ctx }
+
+  let make ?name ctx =
+    { cells = Pvar.make ?name ctx.heap ~threads:ctx.threads None; cctx = ctx }
+
+  let cell t h = Pvar.cell t.cells h.tid
+
+  (* Replay peek: the committed value of this invocation, if any. *)
+  let peek t h ~seq =
+    match Pmem.read (cell t h) with
+    | Some { cseq; v } when cseq = seq -> Some v
+    | _ -> None
+
+  (* First execution computes, persists and returns; a replay of the same
+     invocation returns the recorded value without running [f].  The
+     fence orders whatever [f] flushed (fresh nodes, rewritten links)
+     before the checkpoint's own write-back: no crash can persist the
+     checkpoint yet drop its payload. *)
+  let run t h ~seq f =
+    let c = cell t h in
+    match Pmem.read c with
+    | Some { cseq; v } when cseq = seq -> v
+    | _ ->
+        let v = f () in
+        Pmem.pfence h.ctx.s.cp_fence;
+        Pmem.write c (Some { cseq = seq; v });
+        Pmem.pwb_f h.ctx.s.cp_pwb c;
+        Pmem.psync h.ctx.s.cp_sync;
+        v
+end
+
+module Dcas = struct
+  type 'a tagged = { v : 'a; tg : tag option }
+
+  let plain v = { v; tg = None }
+
+  (* Record [w]'s success on its owner's board unless a newer entry is
+     already there — (seq, slot) only moves forward, so a late helper of
+     a long-detagged CAS can never clobber fresher evidence.  The flush
+     runs even when the entry was already present: a helper that skips
+     the write must still not untag before the record is durable. *)
+  let rec record ctx (w : tag) =
+    let cell = Pvar.cell ctx.boards w.wtid in
+    let cur = Pmem.read cell in
+    let up_to_date =
+      match cur with
+      | Some o -> o.oseq > w.wseq || (o.oseq = w.wseq && o.oslot >= w.wslot)
+      | None -> false
+    in
+    if
+      up_to_date
+      || Pmem.cas cell cur (Some { oseq = w.wseq; oslot = w.wslot; ores = true })
+    then begin
+      Pmem.pwb_f ctx.s.rec_pwb cell;
+      Pmem.psync ctx.s.rec_sync
+    end
+    else record ctx w
+
+  (* Help a tagged location: persist the winning link, record the outcome
+     on the winner's board, and only then untag.  The psync order is the
+     protocol's soundness — by the time an untagged value can be
+     observed (volatile or durable), the evidence is persistent. *)
+  let help ctx field (cur : 'a tagged) w =
+    Pmem.pwb_f ctx.s.help_pwb field;
+    Pmem.psync ctx.s.help_sync;
+    record ctx w;
+    ignore (Pmem.cas field cur { v = cur.v; tg = None } : bool);
+    Pmem.pwb_f ctx.s.detag_pwb field
+
+  (* Read a location for use as a CAS expectation: helps until the stored
+     cell is untagged, so callers never race an undetermined CAS.  The
+     returned cell is the exact box stored in the field (physical
+     equality), as the next [run] needs. *)
+  let rec read ctx field =
+    let c = Pmem.read field in
+    match c.tg with
+    | None -> c
+    | Some w ->
+        help ctx field c w;
+        read ctx field
+
+  (* The outcome this invocation already has on its own board, put there
+     by a helper (or by our own replay helping our own tag). *)
+  let known h ~seq ~slot =
+    match Pmem.read h.board_c with
+    | Some { oseq; oslot; ores } when oseq = seq && oslot = slot -> Some ores
+    | _ -> None
+
+  (* The detectable CAS.  [expect] must come from {!read} (physical
+     equality).  On success the location durably holds [desired] tagged
+     with (thread, seq, slot); the caller commits its result (typically a
+     {!Checkpoint}) and then calls {!confirm} to untag.  A replay whose
+     success already has durable evidence — on the board, or still tagged
+     in the location — returns [true] without re-executing: this is what
+     makes the CAS idempotent across crashes. *)
+  let run h ~seq ~slot field ~expect ~desired =
+    match known h ~seq ~slot with
+    | Some r -> r
+    | None -> (
+        let c = Pmem.read field in
+        match c.tg with
+        | Some w when w.wtid = h.tid && w.wseq = seq && w.wslot = slot ->
+            (* our own durable-but-unrecorded success: finish the helping
+               protocol for ourselves and report it *)
+            help h.ctx field c w;
+            true
+        | _ ->
+            Pmem.pfence h.ctx.s.prep_fence;
+            let t = { wtid = h.tid; wseq = seq; wslot = slot } in
+            if Pmem.cas field expect { v = desired; tg = Some t } then begin
+              Pmem.pwb_f h.ctx.s.tag_pwb field;
+              Pmem.psync h.ctx.s.tag_sync;
+              true
+            end
+            else false)
+
+  (* Untag after the surrounding control flow has durably committed the
+     result.  A failed CAS here means a helper already untagged (and
+     recorded) — equally fine. *)
+  let confirm h ~seq ~slot field =
+    let c = Pmem.read field in
+    match c.tg with
+    | Some w when w.wtid = h.tid && w.wseq = seq && w.wslot = slot ->
+        ignore (Pmem.cas field c { v = c.v; tg = None } : bool);
+        Pmem.pwb_f h.ctx.s.detag_pwb field
+    | _ -> ()
+end

@@ -47,7 +47,9 @@ type t = {
   algo : Set_intf.t;
   mailbox : request Queue.t;
   queue_gauge : Metrics.gauge;
-  mutable inflight : request option;
+  mutable inflight : (request * Set_intf.pending) option;
+      (* the request being executed plus the framework's durable pending
+         token for it, captured by [note_begin] just before dispatch *)
   mutable initial : int list;
   mutable events : Oracle.event list;  (* newest first *)
   mutable served : int;
@@ -106,7 +108,7 @@ let serve t ~batch ~activation_ns ~poll_ns ~restart_ns ~wb ~live ~on_complete =
     while !n < batch && not (Queue.is_empty t.mailbox) do
       let req = Queue.pop t.mailbox in
       Metrics.set_gauge t.queue_gauge (float_of_int (Queue.length t.mailbox));
-      t.inflight <- Some req;
+      t.inflight <- Some (req, t.algo.Set_intf.note_begin req.op);
       Metrics.op_begin
         ~kind:(Metrics.kind_of_op req.op)
         ~key:(Set_intf.op_key req.op);
@@ -138,9 +140,9 @@ let serve t ~batch ~activation_ns ~poll_ns ~restart_ns ~wb ~live ~on_complete =
     Sim.step restart_ns;
     t.algo.Set_intf.recover_structure ();
     (match t.inflight with
-    | Some req ->
+    | Some (req, token) ->
         Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key req.op);
-        let ok = t.algo.Set_intf.recover req.op in
+        let ok = t.algo.Set_intf.recover token in
         Metrics.op_end ~ok;
         t.inflight <- None;
         t.recovered <- t.recovered + 1;

@@ -33,7 +33,9 @@ type t = {
   algo : Set_intf.t;
   mailbox : request Queue.t;
   queue_gauge : Metrics.gauge;
-  mutable inflight : request option;
+  mutable inflight : (request * Set_intf.pending) option;
+      (** the request being executed plus the framework's durable
+          pending token for it ([note_begin]) *)
   mutable initial : int list;  (** contents after prefill (oracle input) *)
   mutable events : Oracle.event list;  (** completed requests, newest first *)
   mutable served : int;

@@ -34,21 +34,24 @@ type report = {
   recovered : int;
   makespan_ns : float;
   throughput_mops : float;
-  lat_mean_ns : float;
-  lat_p50_ns : float;
-  lat_p90_ns : float;
-  lat_p99_ns : float;
+  lat_mean_ns : float option;
+  lat_p50_ns : float option;
+  lat_p90_ns : float option;
+  lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
   divergences : int;
 }
 
+(* [None] when there are no samples: a run that completed nothing has no
+   latency distribution, and reporting a fabricated 0 ns quantile would
+   read as an impossibly fast service instead of an empty one. *)
 let quantile sorted q =
   let n = Array.length sorted in
-  if n = 0 then 0.
+  if n = 0 then None
   else
     let rank = int_of_float (ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
+    Some sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let latency (req : Shard.request) =
   match req.Shard.state with
@@ -74,8 +77,9 @@ let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
   let lats = Array.of_list !lats in
   Array.sort compare lats;
   let mean =
-    if Array.length lats = 0 then 0.
-    else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+    if Array.length lats = 0 then None
+    else
+      Some (Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats))
   in
   let makespan =
     if !completed = 0 then 0. else Float.max 1. (!last_done -. !first_submit)
@@ -158,7 +162,12 @@ let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
    measurable time, and the survivors kept completing requests inside
    the degraded window. *)
 let check ~crash_expected r =
-  if r.lost > 0 then
+  if r.completed = 0 then
+    Error
+      (Printf.sprintf
+         "empty run: 0 of %d requests completed — nothing to check"
+         r.total_requests)
+  else if r.lost > 0 then
     Error (Printf.sprintf "lost requests: %d never resolved" r.lost)
   else if r.completed <> r.total_requests then
     Error
@@ -180,11 +189,15 @@ let pp ppf r =
   Format.fprintf ppf
     "requests %d  completed %d  lost %d  retried %d  recovered %d@."
     r.total_requests r.completed r.lost r.retried r.recovered;
+  let lat = function
+    | None -> "-"
+    | Some ns -> Printf.sprintf "%.0f" ns
+  in
   Format.fprintf ppf
-    "makespan %.0f ns  throughput %.3f Mops/s  latency mean %.0f  p50 %.0f  \
-     p90 %.0f  p99 %.0f ns@."
-    r.makespan_ns r.throughput_mops r.lat_mean_ns r.lat_p50_ns r.lat_p90_ns
-    r.lat_p99_ns;
+    "makespan %.0f ns  throughput %.3f Mops/s  latency mean %s  p50 %s  \
+     p90 %s  p99 %s ns@."
+    r.makespan_ns r.throughput_mops (lat r.lat_mean_ns) (lat r.lat_p50_ns)
+    (lat r.lat_p90_ns) (lat r.lat_p99_ns);
   (match r.degraded with
   | None -> ()
   | Some d ->
@@ -217,8 +230,12 @@ let to_json r =
   f "\"retried\":%d,\"recovered\":%d," r.retried r.recovered;
   f "\"makespan_ns\":%.1f,\"throughput_mops\":%.6f," r.makespan_ns
     r.throughput_mops;
-  f "\"latency_ns\":{\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f},"
-    r.lat_mean_ns r.lat_p50_ns r.lat_p90_ns r.lat_p99_ns;
+  let lat = function
+    | None -> "null"
+    | Some ns -> Printf.sprintf "%.1f" ns
+  in
+  f "\"latency_ns\":{\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}," (lat r.lat_mean_ns)
+    (lat r.lat_p50_ns) (lat r.lat_p90_ns) (lat r.lat_p99_ns);
   (match r.degraded with
   | None -> f "\"degraded\":null,"
   | Some d ->

@@ -35,10 +35,13 @@ type report = {
   recovered : int;
   makespan_ns : float;
   throughput_mops : float;
-  lat_mean_ns : float;
-  lat_p50_ns : float;
-  lat_p90_ns : float;
-  lat_p99_ns : float;
+  lat_mean_ns : float option;
+      (** [None] when no request completed: an empty run has no latency
+          distribution, and a fabricated 0 ns would read as an
+          impossibly fast service (JSON renders these as [null]) *)
+  lat_p50_ns : float option;
+  lat_p90_ns : float option;
+  lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
   divergences : int;  (** schedule-replay divergences (0 unless replaying) *)
@@ -57,9 +60,11 @@ val build :
   report
 
 val check : crash_expected:bool -> report -> (unit, string) result
-(** The `--check` gate: zero lost requests; and when a crash was
-    planned, the victim really crashed, the recovery window has positive
-    duration, and survivors completed requests inside it. *)
+(** The `--check` gate: at least one completed request (an empty run
+    fails loudly instead of vacuously passing), zero lost requests; and
+    when a crash was planned, the victim really crashed, the recovery
+    window has positive duration, and survivors completed requests
+    inside it. *)
 
 val pp : Format.formatter -> report -> unit
 val to_json : report -> string

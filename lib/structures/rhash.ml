@@ -45,14 +45,36 @@ module Make (K : KEY) = struct
   let to_list t =
     Array.to_list t.buckets |> List.concat_map L.to_list
 
-  let cardinal t = List.length (to_list t)
+  (* Summing per-bucket lengths avoids materializing every key the way
+     [to_list] does; the two agree by construction. *)
+  let cardinal t = Array.fold_left (fun acc b -> acc + L.length b) 0 t.buckets
 
   let check_invariants t =
-    Array.to_list t.buckets
-    |> List.fold_left
-         (fun acc b ->
-           match acc with Error _ -> acc | Ok () -> L.check_invariants b)
-         (Ok ())
+    let n = Array.length t.buckets in
+    let rec go i =
+      if i = n then Ok ()
+      else
+        match L.check_invariants t.buckets.(i) with
+        | Error _ as e -> e
+        | Ok () ->
+            (* every key must live in the bucket its hash names: a key
+               filed elsewhere is unreachable to insert/delete/find,
+               which route through [bucket] *)
+            let rec placed = function
+              | [] -> go (i + 1)
+              | k :: rest ->
+                  let want = (K.hash k land max_int) mod n in
+                  if want = i then placed rest
+                  else
+                    Error
+                      (Printf.sprintf
+                         "rhash: key %s found in bucket %d but hashes to \
+                          bucket %d"
+                         (K.to_string k) i want)
+            in
+            placed (L.to_list t.buckets.(i))
+    in
+    go 0
 end
 
 module Int = Make (struct

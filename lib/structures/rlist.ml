@@ -79,7 +79,10 @@ module Make (K : KEY) = struct
       if lt_key curr.key k then begin
         let next_link = Pmem.read curr.next in
         match next_link with
-        | None -> assert false (* the tail's key is +inf, never < k *)
+        | None ->
+            failwith
+              "rlist: search ran past the +inf tail sentinel — the tail's \
+               key compares greater than every search key"
         | Some next ->
             let next_info = Pmem.read next.info in
             go curr curr_info next_link next next_info
@@ -89,7 +92,10 @@ module Make (K : KEY) = struct
     let head_info = Pmem.read t.head.info in
     let first_link = Pmem.read t.head.next in
     match first_link with
-    | None -> assert false
+    | None ->
+        failwith
+          "rlist: head sentinel has no successor — the list must always \
+           reach the +inf tail"
     | Some first ->
         let first_info = Pmem.read first.info in
         go t.head head_info first_link first first_info

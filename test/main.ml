@@ -19,6 +19,7 @@ let () =
       ("harris", Test_harris.suite);
       ("baselines", Test_baselines.suite);
       ("crashes", Test_crashes.suite);
+      ("memento", Test_memento.suite);
       ("repro", Test_repro.suite);
       ("explore", Test_explore.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);

@@ -55,9 +55,10 @@ let test_serve_no_crash () =
   Alcotest.(check int) "no retries" 0 r.Slo.retried;
   Alcotest.(check bool) "no degraded window" true (r.Slo.degraded = None);
   Alcotest.(check bool) "positive throughput" true (r.Slo.throughput_mops > 0.);
-  Alcotest.(check bool) "latency quantiles ordered" true
-    (r.Slo.lat_p50_ns <= r.Slo.lat_p90_ns
-    && r.Slo.lat_p90_ns <= r.Slo.lat_p99_ns);
+  Alcotest.(check bool) "latency quantiles present and ordered" true
+    (match (r.Slo.lat_p50_ns, r.Slo.lat_p90_ns, r.Slo.lat_p99_ns) with
+    | Some p50, Some p90, Some p99 -> p50 <= p90 && p90 <= p99
+    | _ -> false);
   match Slo.check ~crash_expected:false r with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
@@ -307,9 +308,41 @@ let test_explore_catches_broken_variant () =
               Alcotest.(check string) "replay reproduces the bare error" bare e
           | Ok () -> Alcotest.fail "counterexample replayed clean"))
 
+(* An empty run has no latency distribution — the quantiles must be
+   absent, not a fabricated 0 ns — and --check must refuse it loudly
+   instead of vacuously passing a run that did no work. *)
+let test_empty_report_has_no_quantiles () =
+  let r =
+    Slo.build ~total:0 ~divergences:0 ~requests:[] ~shards:[||]
+      ~crash_victim:None
+  in
+  Alcotest.(check bool) "quantiles absent" true
+    (r.Slo.lat_mean_ns = None
+    && r.Slo.lat_p50_ns = None
+    && r.Slo.lat_p90_ns = None
+    && r.Slo.lat_p99_ns = None);
+  Alcotest.(check bool) "json renders null" true
+    (let j = Slo.to_json r in
+     let has_null_p50 =
+       let needle = "\"p50\":null" in
+       let rec scan i =
+         i + String.length needle <= String.length j
+         && (String.sub j i (String.length needle) = needle || scan (i + 1))
+       in
+       scan 0
+     in
+     has_null_p50);
+  match Slo.check ~crash_expected:false r with
+  | Ok () -> Alcotest.fail "check accepted a zero-completed run"
+  | Error e ->
+      Alcotest.(check bool) "error names the empty run" true
+        (String.length e > 0 && String.sub e 0 9 = "empty run")
+
 let suite =
   [
     Alcotest.test_case "router spreads keys" `Quick test_router_spreads_keys;
+    Alcotest.test_case "empty report: no quantiles, check refuses" `Quick
+      test_empty_report_has_no_quantiles;
     Alcotest.test_case "serve without crash" `Quick test_serve_no_crash;
     Alcotest.test_case "crash of one shard loses nothing" `Quick
       test_serve_crash_zero_lost_survivors_progress;
