@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke
 
 build:
 	dune build
@@ -81,6 +81,26 @@ memento-smoke:
 	  --keys 3 --prefill 0 --preemptions 0 --crashes 1 --wb 2 --max-execs 0
 	! dune exec bin/repro.exe -- explore -a memento-broken -t 1 --ops 3 \
 	  --keys 3 --prefill 0 --preemptions 0 --crashes 1 --wb 2 --max-execs 0
+
+# Crash-forensics smoke: `repro explain` on the shipped negative-control
+# repros must name the elided persist site in the postmortem, and the
+# output must be byte-identical across -j settings (the determinism
+# contract of forensic replay).
+forensics-smoke:
+	dune exec bin/repro.exe -- explain repros/tracking-broken.repro \
+	  | grep -q 'rlist-broken.new.pwb'
+	dune exec bin/repro.exe -- explain repros/memento-broken.repro \
+	  | grep -q 'mmt-broken.cp.pwb'
+	dune exec bin/repro.exe -- explain -j 1 repros/tracking-broken.repro \
+	  > _build/forensics-tb-j1.txt
+	dune exec bin/repro.exe -- explain -j 4 repros/tracking-broken.repro \
+	  > _build/forensics-tb-j4.txt
+	cmp _build/forensics-tb-j1.txt _build/forensics-tb-j4.txt
+	dune exec bin/repro.exe -- explain --json -j 1 repros/memento-broken.repro \
+	  > _build/forensics-mb-j1.json
+	dune exec bin/repro.exe -- explain --json -j 4 repros/memento-broken.repro \
+	  > _build/forensics-mb-j4.json
+	cmp _build/forensics-mb-j1.json _build/forensics-mb-j4.json
 
 clean:
 	dune clean

@@ -54,6 +54,39 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Parallel.default_jobs () else j
 
+(* -- crash forensics helpers ---------------------------------------------- *)
+
+(* Postmortems are printed through the same formatter as the violation
+   message so the two can never interleave out of order. *)
+let pp_postmortem pm = Format.printf "@.%s" (Forensics.render_text pm)
+
+let pp_no_postmortem reason = Format.printf "@.(no postmortem: %s)@." reason
+
+(* [Crashes.run_campaign] failures carry a "seed N: " prefix; pull the
+   failing seed back out so the campaign can be re-run under the
+   forensic recorder. *)
+let seed_of_campaign_failure msg =
+  let n = String.length msg in
+  if n > 5 && String.sub msg 0 5 = "seed " then begin
+    let i = ref 5 and v = ref 0 and seen = ref false in
+    while !i < n && msg.[!i] >= '0' && msg.[!i] <= '9' do
+      v := (10 * !v) + (Char.code msg.[!i] - Char.code '0');
+      seen := true;
+      incr i
+    done;
+    if !seen && !i < n && msg.[!i] = ':' then Some !v else None
+  end
+  else None
+
+(* Attach a postmortem to a campaign failure by re-running the failing
+   seed under the forensic recorder (seeded runs are deterministic, so
+   the free re-run reproduces the recorded failure). *)
+let campaign_postmortem cfg ~seed =
+  match Crashes.forensic_run cfg ~seed with
+  | Error _, _, Some pm -> pp_postmortem pm
+  | Ok _, _, _ -> pp_no_postmortem "the forensic re-run passed"
+  | Error _, _, None -> pp_no_postmortem "forensic re-run produced no report"
+
 (* -- figures ------------------------------------------------------------ *)
 
 let figure_ids =
@@ -184,6 +217,9 @@ let crash_cmd =
         (match repro_file with
         | Some p -> Format.printf "repro saved to %s@." p
         | None -> ());
+        (match seed_of_campaign_failure msg with
+        | Some seed -> campaign_postmortem cfg ~seed
+        | None -> pp_no_postmortem "failing seed not found in the message");
         exit 1
   in
   Cmd.v
@@ -306,6 +342,9 @@ let explore_cmd =
             Repro.save p r;
             Format.printf "repro saved to %s@." p
         | None -> ());
+        (match Crashes.explain r with
+        | Ok pm -> pp_postmortem pm
+        | Error e -> pp_no_postmortem e);
         exit 1
   in
   Cmd.v
@@ -401,6 +440,74 @@ let replay_cmd =
           failing-campaign repro.")
     Term.(const replay_run $ file $ shrinkf $ any_error $ out $ trace)
 
+(* -- explain (crash forensics) -------------------------------------------- *)
+
+let explain_run file json _jobs =
+  let first_line =
+    match In_channel.with_open_text file In_channel.input_line with
+    | Some l -> l
+    | None -> ""
+    | exception Sys_error msg ->
+        Format.printf "cannot read %s: %s@." file msg;
+        exit 2
+  in
+  let result =
+    (* campaign and serve repros share the CLI entry point; the magic
+       line says which replayer owns the file *)
+    if String.equal first_line Store_repro.magic then
+      match Store_repro.load file with
+      | Error msg -> `Load msg
+      | Ok r -> (
+          match Store_repro.explain r with
+          | Ok pm -> `Postmortem pm
+          | Error msg -> `Explain msg)
+    else
+      match Repro.load file with
+      | Error msg -> `Load msg
+      | Ok r -> (
+          match Crashes.explain r with
+          | Ok pm -> `Postmortem pm
+          | Error msg -> `Explain msg)
+  in
+  match result with
+  | `Load msg ->
+      Format.printf "cannot load %s: %s@." file msg;
+      exit 2
+  | `Explain msg ->
+      Format.printf "cannot explain %s: %s@." file msg;
+      exit 1
+  | `Postmortem pm ->
+      if json then print_endline (Forensics.render_json pm)
+      else print_string (Forensics.render_text pm)
+
+let explain_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Repro file (campaign or serve) written on a failure.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Render the postmortem as one JSON object instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Crash-forensics postmortem for a saved failing repro: replay it \
+          under the forensic recorder and report each crash's write-back \
+          fates (persisted vs dropped, with the resolution that decided \
+          them), the durable-vs-volatile state diff naming every \
+          never-persisted cache line and the site that wrote it, the \
+          culprit analysis (including registered-but-disabled persist \
+          sites), and the lineage of the operations touching the failure.  \
+          Output is deterministic: byte-identical across replays and -j \
+          settings.")
+    Term.(const explain_run $ file $ json $ jobs_arg)
+
 (* -- soak ----------------------------------------------------------------- *)
 
 let soak_cmd =
@@ -441,6 +548,9 @@ let soak_cmd =
             o.Crashes.crashes
       | Error msg ->
           Format.printf "round %d: DETECTABILITY VIOLATION — %s@." !round msg;
+          (match seed_of_campaign_failure msg with
+          | Some seed -> campaign_postmortem cfg ~seed
+          | None -> pp_no_postmortem "failing seed not found in the message");
           exit 1
     done
   in
@@ -523,6 +633,7 @@ let stats_cmd =
     | Ok _ -> ()
     | Error msg ->
         Format.printf "@.DETECTABILITY VIOLATION — %s@." msg;
+        campaign_postmortem cfg ~seed;
         exit 1
   in
   Cmd.v
@@ -913,6 +1024,15 @@ let serve_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the SLO report as JSON to $(docv) (\"-\" = stdout).")
   in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-shard windowed time-series (throughput and mean \
+             latency per virtual-time window) as CSV to $(docv).")
+  in
   let check =
     Arg.(
       value & flag
@@ -959,8 +1079,8 @@ let serve_cmd =
           ~doc:"Crash-point depth per victim explored by --explore.")
   in
   let run algo mix shards clients ops batch key_range skew open_loop
-      crash_shard crash_after wb restart_ns seed json check repro_file replay
-      trace explore dispatch_budget jobs =
+      crash_shard crash_after wb restart_ns seed json csv check repro_file
+      replay trace explore dispatch_budget jobs =
     match replay with
     | Some f -> serve_replay f
     | None -> (
@@ -1036,12 +1156,21 @@ let serve_cmd =
               | None -> ()
               | Some msg ->
                   Format.printf "DETECTABILITY VIOLATION — %s@." msg;
-                  (match (repro_file, st.Store.ex_first_cex) with
-                  | Some p, Some (cex, sched, bare) ->
-                      Store_repro.save p
-                        (Store_repro.of_config cex ~error:bare ~schedule:sched);
-                      Format.printf "serve repro saved to %s@." p
-                  | _ -> ());
+                  (match st.Store.ex_first_cex with
+                  | Some (cex, sched, bare) ->
+                      let sr =
+                        Store_repro.of_config cex ~error:bare ~schedule:sched
+                      in
+                      (match repro_file with
+                      | Some p ->
+                          Store_repro.save p sr;
+                          Format.printf "serve repro saved to %s@." p
+                      | None -> ());
+                      (match Store_repro.explain sr with
+                      | Ok pm -> pp_postmortem pm
+                      | Error e -> pp_no_postmortem e)
+                  | None ->
+                      pp_no_postmortem "no counterexample was recorded");
                   exit 1
         end
         else begin
@@ -1054,17 +1183,28 @@ let serve_cmd =
           match result with
           | Error msg ->
               Format.printf "DETECTABILITY VIOLATION — %s@." msg;
+              let sr =
+                Store_repro.of_config cfg ~error:msg
+                  ~schedule:(Array.of_list (List.rev !sched))
+              in
               (match repro_file with
               | Some p ->
-                  Store_repro.save p
-                    (Store_repro.of_config cfg ~error:msg
-                       ~schedule:(Array.of_list (List.rev !sched)));
+                  Store_repro.save p sr;
                   Format.printf "serve repro saved to %s@." p
               | None -> ());
+              (match Store_repro.explain sr with
+              | Ok pm -> pp_postmortem pm
+              | Error e -> pp_no_postmortem e);
               exit 1
           | Ok report ->
               (* --json - owns stdout for pipelines *)
               if json <> Some "-" then Format.printf "%a" Slo.pp report;
+              (match csv with
+              | Some p ->
+                  Out_channel.with_open_text p (fun oc ->
+                      Out_channel.output_string oc (Slo.windows_csv report));
+                  if json <> Some "-" then Format.printf "wrote %s@." p
+              | None -> ());
               (match json with
               | Some "-" -> print_endline (Slo.to_json report)
               | Some p ->
@@ -1093,7 +1233,7 @@ let serve_cmd =
     Term.(
       const run $ algo $ mix $ shards $ clients $ ops $ batch $ key_range
       $ skew $ open_loop $ crash_shard $ crash_after $ wb $ restart_ns $ seed
-      $ json $ check $ repro_file $ replay $ trace $ explore
+      $ json $ csv $ check $ repro_file $ replay $ trace $ explore
       $ dispatch_budget $ jobs_arg)
 
 (* -- classify ------------------------------------------------------------- *)
@@ -1137,5 +1277,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
           [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
-            soak_cmd; classify_cmd; stats_cmd; trace_cmd; causal_cmd;
-            serve_cmd ]))
+            explain_cmd; soak_cmd; classify_cmd; stats_cmd; trace_cmd;
+            causal_cmd; serve_cmd ]))

@@ -105,8 +105,11 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
           pending.(tid) <- Some (op, algo.Set_intf.note_begin op);
           Metrics.op_begin ~kind:(Metrics.kind_of_op op)
             ~key:(Set_intf.op_key op);
+          Forensics.op_begin ~tid ~kind:(Metrics.kind_of_op op)
+            ~key:(Set_intf.op_key op);
           let ok = Set_intf.apply algo op in
           Metrics.op_end ~ok;
+          Forensics.op_end ~tid ~ok;
           record op ok;
           pending.(tid) <- None;
           remaining.(tid) := rest;
@@ -119,8 +122,10 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
     | None -> ()
     | Some (op, token) ->
         Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key op);
+        Forensics.op_begin ~tid ~kind:"recover" ~key:(Set_intf.op_key op);
         let ok = algo.Set_intf.recover token in
         Metrics.op_end ~ok;
+        Forensics.op_end ~tid ~ok;
         record op ok;
         incr recovered;
         pending.(tid) <- None;
@@ -159,6 +164,7 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
     in
     let picks = ref [] in
     Trace.round ~kind round;
+    Forensics.round ~kind round;
     Fun.protect
       ~finally:(fun () ->
         log :=
@@ -212,6 +218,7 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
           | `Rng -> Pmem.crash ~rng heap
           | (`Drop | `All | `Prefix _) as resolution ->
               Pmem.crash ~resolution heap);
+          Forensics.note_crash ~round;
           (* patch the resolution into the round entry the finalizer just
              pushed, so the log replays with the same NVM state *)
           (match !log with
@@ -234,12 +241,21 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
     | exception Sim.Step_limit ->
         Error "step budget exhausted: livelock or starvation suspected"
     | Ok () -> (
+        (* Violation messages carry the campaign coordinates (seed, round
+           count, crash count) so a bare message is actionable without
+           the repro file; the counts are pure functions of the recorded
+           execution, so a replayed failure produces the identical
+           string (Crashes.replay and the shrinker compare on it). *)
+        let context = Printf.sprintf "seed %d, %d rounds, %d crashes" seed
+            (List.length !log) !crashes
+        in
         match algo.Set_intf.check () with
-        | Error msg -> Error ("structure invariant: " ^ msg)
+        | Error msg ->
+            Error (Printf.sprintf "structure invariant: %s: %s" context msg)
         | Ok () -> (
             let final = algo.Set_intf.contents () in
             match Oracle.check ~initial ~final (List.rev !events) with
-            | Error msg -> Error ("oracle: " ^ msg)
+            | Error msg -> Error (Printf.sprintf "oracle: %s: %s" context msg)
             | Ok () ->
                 Ok
                   {
@@ -282,6 +298,59 @@ let replay (r : Repro.t) =
                round step want)
       | None, Ok _ -> Ok ()
       | None, (Error _ as e) -> e)
+
+(* ---- crash forensics --------------------------------------------------- *)
+
+(* One campaign run with the forensic recorder attached: the recording
+   costs nothing to ordinary campaigns because it only exists here.  A
+   passing run yields no postmortem — that is the healthy-variant
+   property test/test_forensics.ml locks down. *)
+let forensic_run ?script ?on_divergence cfg ~seed =
+  Forensics.start ();
+  Fun.protect ~finally:Forensics.stop (fun () ->
+      let result, rounds = run_logged ?script ?on_divergence cfg ~seed in
+      let pm =
+        match result with
+        | Ok _ -> None
+        | Error error ->
+            Some
+              (Forensics.build ~algo:cfg.factory.Set_intf.fname ~seed ~error)
+      in
+      (result, rounds, pm))
+
+(* Replay a repro under the recorder and return its postmortem.  Like
+   {!replay}, a schedule divergence or a different failure is an error:
+   a postmortem must describe the recorded execution, not a neighbor. *)
+let explain (r : Repro.t) =
+  match config_of r with
+  | Error msg -> Error msg
+  | Ok cfg -> (
+      let first_div = ref None in
+      let on_divergence ~round ~step ~want =
+        if !first_div = None then first_div := Some (round, step, want)
+      in
+      let result, _, pm =
+        forensic_run ~script:r.rounds ~on_divergence cfg ~seed:r.seed
+      in
+      match (!first_div, result, pm) with
+      | Some (round, step, want), _, _ ->
+          Error
+            (Printf.sprintf
+               "schedule divergence at round %d step %d (recorded tid %d not \
+                ready): the replay executed a different interleaving"
+               round step want)
+      | None, Ok _, _ ->
+          Error "the repro did not fail on replay — nothing to explain"
+      | None, Error e, Some pm ->
+          if String.equal e r.Repro.error then Ok pm
+          else
+            Error
+              (Printf.sprintf
+                 "replay failed differently: recorded %S, replay produced %S"
+                 r.Repro.error e)
+      | None, Error e, None ->
+          (* forensic_run always builds a postmortem for an Error result *)
+          Error ("postmortem construction failed for: " ^ e))
 
 (* ---- greedy shrinking -------------------------------------------------- *)
 

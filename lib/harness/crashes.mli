@@ -99,6 +99,26 @@ val replay : Repro.t -> (unit, string) result
     step, wanted tid), {e regardless} of how the diverged run ended: a
     diverged "replay" proves nothing about the recorded failure. *)
 
+val forensic_run :
+  ?script:Repro.round list ->
+  ?on_divergence:(round:int -> step:int -> want:int -> unit) ->
+  config ->
+  seed:int ->
+  (outcome, string) result * Repro.round list * Forensics.postmortem option
+(** {!run_logged} with the {!Forensics} recorder attached for the run's
+    duration.  A failing run additionally returns its postmortem; a
+    passing run returns [None] — healthy variants yield zero
+    postmortems.  Ordinary campaigns never pay for this: the recorder
+    only exists inside this call. *)
+
+val explain : Repro.t -> (Forensics.postmortem, string) result
+(** Replay a repro under the forensic recorder and return the
+    postmortem of its failure.  Like {!replay}, a schedule divergence is
+    an error; so are a passing replay and a replay that fails with a
+    different message — a postmortem must describe the recorded
+    execution.  Deterministic: the same repro explains to byte-identical
+    {!Forensics.render_text}/{!Forensics.render_json} output. *)
+
 val shrink : ?budget:int -> ?match_error:bool -> Repro.t -> Repro.t
 (** Greedily minimize a failing repro: fewer threads, fewer ops per
     thread, earlier first crash point — each move kept only if a probe

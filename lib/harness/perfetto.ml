@@ -220,6 +220,12 @@ let convert ~jsonl ~out =
           let round_max = ref 0. in
           let opens : (int, open_span) Hashtbl.t = Hashtbl.create 16 in
           let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+          (* crash-recovery flow arrows: a span interrupted by a crash
+             opens a flow (ph:"s") that the thread's next "recover" span
+             terminates (ph:"f"), visually linking one operation's
+             attempts across crash/recovery rounds *)
+          let pending_flow : (int, int) Hashtbl.t = Hashtbl.create 8 in
+          let flow_ids = ref 0 in
           let spans = ref 0 in
           let events = ref 0 in
           let see tid = if not (Hashtbl.mem seen tid) then Hashtbl.add seen tid () in
@@ -239,17 +245,30 @@ let convert ~jsonl ~out =
                  (esc name) (us_of_ns ts) tid scope
                  (if args = "" then "" else Printf.sprintf {|,"args":{%s}|} args))
           in
-          let close_open_spans reason =
-            Hashtbl.iter
-              (fun tid os ->
+          let close_open_spans ?(flows = false) reason =
+            (* tid-sorted so flow ids are assigned deterministically *)
+            let bindings =
+              Hashtbl.fold (fun tid os acc -> (tid, os) :: acc) opens []
+              |> List.sort compare
+            in
+            List.iter
+              (fun (tid, os) ->
                 let e = !offset +. !round_max in
                 let b = !offset +. os.os_begin in
                 span ~tid
                   ~name:(Printf.sprintf "%s(%d) (%s)" os.os_kind os.os_key reason)
                   ~ts:b
                   ~dur:(Float.max 0. (e -. b))
-                  ~args:{|"interrupted":true|})
-              opens;
+                  ~args:{|"interrupted":true|};
+                if flows then begin
+                  incr flow_ids;
+                  Hashtbl.replace pending_flow tid !flow_ids;
+                  raw
+                    (Printf.sprintf
+                       {|{"name":"crash-recovery","cat":"recovery","ph":"s","id":%d,"ts":%.3f,"pid":1,"tid":%d}|}
+                       !flow_ids (us_of_ns e) tid)
+                end)
+              bindings;
             Hashtbl.reset opens
           in
           let on_line fields =
@@ -266,6 +285,16 @@ let convert ~jsonl ~out =
                 | Some tid, Some kind, Some key, Some clock ->
                     see tid;
                     clockbump clock;
+                    (match Hashtbl.find_opt pending_flow tid with
+                    | Some id when kind = "recover" ->
+                        Hashtbl.remove pending_flow tid;
+                        raw
+                          (Printf.sprintf
+                             {|{"name":"crash-recovery","cat":"recovery","ph":"f","bp":"e","id":%d,"ts":%.3f,"pid":1,"tid":%d}|}
+                             id
+                             (us_of_ns (!offset +. clock))
+                             tid)
+                    | _ -> ());
                     Hashtbl.replace opens tid
                       { os_kind = kind; os_key = key; os_begin = clock }
                 | _ -> ())
@@ -320,9 +349,29 @@ let convert ~jsonl ~out =
                       ~ts:(!offset +. clock) ~args
                 | _ -> ())
             | Some "crash" ->
-                close_open_spans "interrupted";
+                close_open_spans ~flows:true "interrupted";
                 instant ~tid:0 ~scope:"g" ~name:"crash" ~ts:(now_global ())
                   ~args:""
+            | Some "win" -> (
+                (* per-shard windowed time-series -> counter tracks *)
+                match
+                  (fint "sid" fields, fnum "start" fields,
+                   fint "completions" fields, fnum "mops" fields)
+                with
+                | Some sid, Some start, Some _, Some mops ->
+                    let ts = us_of_ns (!offset +. start) in
+                    raw
+                      (Printf.sprintf
+                         {|{"name":"shard %d throughput (Mops/s)","ph":"C","ts":%.3f,"pid":1,"args":{"mops":%.6f}}|}
+                         sid ts mops);
+                    (match fnum "lat_mean" fields with
+                    | Some lat ->
+                        raw
+                          (Printf.sprintf
+                             {|{"name":"shard %d latency (ns)","ph":"C","ts":%.3f,"pid":1,"args":{"ns":%.1f}}|}
+                             sid ts lat)
+                    | None -> ())
+                | _ -> ())
             | Some "round" ->
                 close_open_spans "interrupted";
                 offset := now_global ();

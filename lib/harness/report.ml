@@ -96,6 +96,17 @@ let pp_metrics ?(top = 10) ppf () =
       List.iter
         (fun (r, d) -> Format.fprintf ppf "%8d %14.1f@." r d)
         rounds);
+  (match Pmem.crash_reports () with
+  | [] -> ()
+  | reports ->
+      Format.fprintf ppf "@.— write-backs at crashes —@.";
+      Format.fprintf ppf "%6s %-28s %-10s %9s %8s@." "crash" "heap"
+        "resolution" "persisted" "dropped";
+      List.iteri
+        (fun i (r : Pmem.crash_report) ->
+          Format.fprintf ppf "%6d %-28s %-10s %9d %8d@." i r.Pmem.cr_heap
+            r.Pmem.cr_resolution r.Pmem.cr_persisted r.Pmem.cr_dropped)
+        reports);
   Format.fprintf ppf "@.— counters —@.";
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%-24s %d@." name v)
@@ -188,6 +199,18 @@ let metrics_json ?(top = 10) () =
       if i > 0 then add ",";
       add (Printf.sprintf "{\"round\":%d,\"duration_ns\":%s}" round (fl ns)))
     (Metrics.recovery_durations ());
+  add "],\"crash_writebacks\":[";
+  List.iteri
+    (fun i (r : Pmem.crash_report) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"crash\":%d,\"heap\":\"%s\",\"scope\":\"%s\",\"resolution\":\"%s\",\"persisted\":%d,\"dropped\":%d}"
+           i (json_escape r.Pmem.cr_heap)
+           (match r.Pmem.cr_scope with `Machine -> "machine" | `Heap -> "heap")
+           (json_escape r.Pmem.cr_resolution) r.Pmem.cr_persisted
+           r.Pmem.cr_dropped))
+    (Pmem.crash_reports ());
   add "],\"counters\":{";
   List.iteri
     (fun i (name, v) ->

@@ -20,9 +20,11 @@ val explore_progress : Explore.stats -> unit
 val pp_metrics : ?top:int -> Format.formatter -> unit -> unit
 (** The metrics report behind [repro stats]: per-histogram latency
     summaries (count, mean, p50/p90/p99/max in virtual ns), the [top]
-    (default 10) most contended cache lines, per-round recovery durations
-    and the counter registry — everything recorded since the last
-    [Metrics.reset]. *)
+    (default 10) most contended cache lines, per-round recovery
+    durations, the per-crash write-back fate counts (persisted vs
+    dropped, from [Pmem.crash_reports]) and the counter registry —
+    everything recorded since the last [Metrics.reset] /
+    [Pmem.reset_pending]. *)
 
 val pp_causal : Format.formatter -> Causal.profile -> unit
 (** The ranked attribution table behind [repro causal]: one row per
@@ -32,8 +34,9 @@ val pp_causal : Format.formatter -> Causal.profile -> unit
 
 val metrics_json : ?top:int -> unit -> string
 (** The metrics report of {!pp_metrics} as a single JSON object
-    (histograms, top-[top] contended lines, recovery rounds, counters) —
-    the machine-readable output of [repro stats --json]. *)
+    (histograms, top-[top] contended lines, recovery rounds, per-crash
+    write-back fates, counters) — the machine-readable output of
+    [repro stats --json]. *)
 
 val figure_to_csv : Figures.figure -> string
 (** One CSV: a [threads] column followed by one column per series.

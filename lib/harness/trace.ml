@@ -68,9 +68,10 @@ let on_pmem_event : Pmem.trace_event -> unit = function
   | Pmem.Cas { tid; line; success; invalidated } ->
       emit {|{"ev":"cas","tid":%d,"line":"%s","ok":%b,"inv":%d,"clock":%.1f}|}
         tid (escape line) success invalidated (clk ())
-  | Pmem.Pwb { tid; site; impact } ->
-      emit {|{"ev":"pwb","tid":%d,"site":"%s","impact":"%s","clock":%.1f}|} tid
-        (escape site) (impact_name impact) (clk ())
+  | Pmem.Pwb { tid; site; impact; line } ->
+      emit
+        {|{"ev":"pwb","tid":%d,"site":"%s","impact":"%s","clock":%.1f,"line":"%s"}|}
+        tid (escape site) (impact_name impact) (clk ()) (escape line)
   | Pmem.Pfence { tid; site } ->
       emit {|{"ev":"pfence","tid":%d,"site":"%s","clock":%.1f}|} tid
         (escape site) (clk ())
@@ -114,6 +115,18 @@ let round ~kind n =
       (match kind with `Work -> "work" | `Recover -> "recover")
 
 let note msg = if active () then emit {|{"ev":"note","msg":"%s"}|} (escape msg)
+
+(* Per-shard windowed time-series of a serve run (emitted by Store once
+   the SLO report is built; the Perfetto converter turns these into
+   counter tracks). *)
+let win ~sid ~index ~start_ns ~end_ns ~completions ~mops ~lat_mean_ns =
+  if active () then
+    emit
+      {|{"ev":"win","sid":%d,"index":%d,"start":%.1f,"end":%.1f,"completions":%d,"mops":%.6f,"lat_mean":%s}|}
+      sid index start_ns end_ns completions mops
+      (match lat_mean_ns with
+      | None -> "null"
+      | Some ns -> Printf.sprintf "%.1f" ns)
 
 (* ---- operation spans (emitted by Harness.Metrics) --------------------- *)
 

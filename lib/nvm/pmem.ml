@@ -6,9 +6,14 @@ type trace_event =
   | Read of { tid : int; line : string; hit : bool }
   | Write of { tid : int; line : string; hit : bool; invalidated : int }
   | Cas of { tid : int; line : string; success : bool; invalidated : int }
-  | Pwb of { tid : int; site : string; impact : Pstats.category }
+  | Pwb of { tid : int; site : string; impact : Pstats.category; line : string }
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
+
+(* What finally happened to an issued write-back: completed by a drain
+   (psync, a draining CAS, or queue-capacity completion), or resolved at
+   a crash — persisted or dropped by the adversarial resolution. *)
+type wb_fate = Drained | Crash_persisted | Crash_dropped
 
 
 let popcount n =
@@ -25,22 +30,63 @@ let check_tid tid =
 
 (* ---- heaps, lines, fields -------------------------------------------- *)
 
+(* What a field's crash-time reset did: nothing (volatile value already
+   matched the durable one), reverted a newer volatile value to a stale
+   durable one, or poisoned the field (no durable value ever existed).
+   Both non-clean cases name the line so the crash report can render the
+   durable-vs-volatile diff. *)
+type reset_outcome = Rclean | Rreverted of string | Rpoisoned of string
+
 type heap = {
   hname : string;
   track : bool;
-  mutable resets : (unit -> unit) list;
+  (* One closure per field: revert to the durable value on crash,
+     reporting what that reset lost (if anything). *)
+  mutable resets : (unit -> reset_outcome) list;
   mutable metas : (unit -> unit) list;  (* clear cache metadata on crash *)
   mutable n_lines : int;
 }
 
 (* ---- per-machine state: the instance ---------------------------------- *)
 
+(* A pending write-back carries its provenance — the cache line it will
+   persist and the persist site that issued it — so crash resolution can
+   report exactly which line/site was dropped.  The two extra words are
+   written once per pwb and never read on the hot path, so carrying them
+   unconditionally costs nothing observable when forensics is off (and
+   the virtual-time cost model is untouched either way). *)
 type wb_entry =
-  | Apply of heap * (unit -> unit)
+  | Apply of { aheap : heap; aline : string; asite : string; apply : unit -> unit }
       (* complete this write-back; tagged with the owning heap so a
          heap-scoped crash ({!crash} [~scope:`Heap]) can resolve only
          the victim's entries *)
   | Fence
+
+(* Per-crash forensic record, kept on the instance unconditionally
+   (crashes are rare; the hot path never touches this). *)
+type crash_fate = {
+  cf_tid : int;
+  cf_line : string;
+  cf_site : string;
+  cf_persisted : bool;
+}
+
+type crash_report = {
+  cr_heap : string;
+  cr_scope : [ `Machine | `Heap ];
+  cr_resolution : string;  (* "rng" | "drop" | "all" | "prefix:k" *)
+  cr_persisted : int;  (* write-backs completed by the resolution *)
+  cr_dropped : int;  (* write-backs lost at the crash *)
+  cr_fates : crash_fate list;  (* per tid ascending, issue order within *)
+  cr_poisoned : string list;  (* never-persisted lines, capped *)
+  cr_poisoned_total : int;  (* full count behind the cap *)
+  cr_reverted : string list;
+      (* lines whose volatile value was lost: reverted to an older
+         durable value at this crash; capped like cr_poisoned *)
+  cr_reverted_total : int;
+}
+
+let poisoned_cap = 64
 
 (* One simulated machine's mutable persistency state, explicitly owned:
    the per-thread write-pending queues (the store buffer), the acceptance
@@ -64,6 +110,14 @@ type instance = {
      may be active at once. *)
   mutable itracer : (trace_event -> unit) option;
   mutable icollector : (trace_event -> unit) option;
+  (* Third observer, for crash forensics (Harness.Forensics): sees the
+     same event stream as tracer/collector, plus write-back fates via
+     [iwb_obs].  Kept separate so forensic replay composes with tracing
+     and metrics instead of stealing their hooks. *)
+  mutable iforensics : (trace_event -> unit) option;
+  mutable iwb_obs : (int -> string -> string -> wb_fate -> unit) option;
+  (* Crash log, newest first; cleared by [reset_pending]. *)
+  mutable icrashes : crash_report list;
 }
 
 let create_instance () =
@@ -72,6 +126,9 @@ let create_instance () =
     wb_deadline = Array.make max_threads neg_infinity;
     itracer = None;
     icollector = None;
+    iforensics = None;
+    iwb_obs = None;
+    icrashes = [];
   }
 
 (* The domain's hot context: every simulated instruction consults the
@@ -115,16 +172,26 @@ let with_instance inst f =
 let set_tracer t = (instance ()).itracer <- t
 let set_collector c = (instance ()).icollector <- c
 
-let observing inst = inst.itracer != None || inst.icollector != None
+let set_forensics f =
+  let inst = instance () in
+  inst.iforensics <- f
+
+let set_wb_observer f = (instance ()).iwb_obs <- f
+let crash_reports () = List.rev (instance ()).icrashes
+
+let observing inst =
+  inst.itracer != None || inst.icollector != None || inst.iforensics != None
 
 let notify inst ev =
   (match inst.itracer with None -> () | Some f -> f ev);
-  match inst.icollector with None -> () | Some f -> f ev
+  (match inst.icollector with None -> () | Some f -> f ev);
+  match inst.iforensics with None -> () | Some f -> f ev
 
 let reset_pending () =
   let inst = instance () in
   Array.iter Queue.clear inst.pending;
-  Array.fill inst.wb_deadline 0 max_threads neg_infinity
+  Array.fill inst.wb_deadline 0 max_threads neg_infinity;
+  inst.icrashes <- []
 
 type line = {
   lheap : heap;
@@ -190,9 +257,15 @@ let on_line line v =
       (fun () ->
         match fld.durable with
         | P p ->
+            (* [P fld.v] aliases the stored value, so physical inequality
+               is an exact staleness test for both immediates and boxes. *)
+            let stale = fld.v != p in
             fld.v <- p;
-            fld.poisoned <- false
-        | Never -> fld.poisoned <- true)
+            fld.poisoned <- false;
+            if stale then Rreverted fld.line.lname else Rclean
+        | Never ->
+            fld.poisoned <- true;
+            Rpoisoned fld.line.lname)
       :: h.resets;
   fld
 
@@ -245,7 +318,13 @@ let write fld v =
 let drain_queue inst tid =
   let q = inst.pending.(tid) in
   while not (Queue.is_empty q) do
-    match Queue.pop q with Apply (_, f) -> f () | Fence -> ()
+    match Queue.pop q with
+    | Apply a ->
+        a.apply ();
+        (match inst.iwb_obs with
+        | None -> ()
+        | Some obs -> obs tid a.aline a.asite Drained)
+    | Fence -> ()
   done;
   inst.wb_deadline.(tid) <- neg_infinity
 
@@ -338,7 +417,8 @@ let pwb site line =
     let impact = classify line tid now in
     Pstats.d_record pst site impact;
     if observing inst then
-      notify inst (Pwb { tid; site = Pstats.name site; impact });
+      notify inst
+        (Pwb { tid; site = Pstats.name site; impact; line = line.lname });
     let m = Pstats.d_cost_mult pst site *. Pstats.d_category_mult pst impact in
     (* Flushing a line that is dirty in another cache, or that already has
        an in-flight write-back from another thread, pays the ping-pong
@@ -361,13 +441,23 @@ let pwb site line =
     if Queue.length q > 64 then begin
       let rec complete_oldest () =
         match Queue.pop q with
-        | Apply (_, f) -> f ()
+        | Apply a ->
+            a.apply ();
+            (match inst.iwb_obs with
+            | None -> ()
+            | Some obs -> obs tid a.aline a.asite Drained)
         | Fence -> if not (Queue.is_empty q) then complete_oldest ()
       in
       complete_oldest ()
     end;
     Queue.push
-      (Apply (line.lheap, fun () -> List.iter (fun f -> f ()) line.persists))
+      (Apply
+         {
+           aheap = line.lheap;
+           aline = line.lname;
+           asite = Pstats.name site;
+           apply = (fun () -> List.iter (fun f -> f ()) line.persists);
+         })
       q;
     (* the line's media write-back completes late (contention stalls),
        but the persistence point — acceptance — is much earlier.  Both
@@ -424,9 +514,13 @@ let psync site =
 
 (* ---- crashes ----------------------------------------------------------- *)
 
-let resolve_queue_at_crash rng q =
+(* Every resolver reports each write-back's fate through [fate entry
+   persisted] so the crash can log exactly which line/site survived. *)
+let resolve_queue_at_crash rng ~fate q =
   match rng with
-  | None -> Queue.clear q
+  | None ->
+      Queue.iter (function Apply _ as e -> fate e false | Fence -> ()) q;
+      Queue.clear q
   | Some rng ->
       (* Fence-delimited segments complete in order: some prefix of
          segments completed fully, the next one partially (an arbitrary
@@ -443,11 +537,18 @@ let resolve_queue_at_crash rng q =
             match !mode with
             | `Full -> mode := fresh_mode ()
             | `Partial | `Drop -> mode := `Drop)
-        | Apply (_, f) -> (
+        | Apply a as e -> (
             match !mode with
-            | `Full -> f ()
-            | `Partial -> if Random.State.bool rng then f ()
-            | `Drop -> ())
+            | `Full ->
+                a.apply ();
+                fate e true
+            | `Partial ->
+                if Random.State.bool rng then begin
+                  a.apply ();
+                  fate e true
+                end
+                else fate e false
+            | `Drop -> fate e false)
       done
 
 (* Deterministic resolutions for the exploration harness: instead of an
@@ -455,18 +556,32 @@ let resolve_queue_at_crash rng q =
    [`Prefix k] completes each thread's k oldest write-backs in issue
    order — a prefix always respects fence ordering, so every such choice
    is a legal NVM state. *)
-let resolve_queue_deterministic choice q =
+let resolve_queue_deterministic choice ~fate q =
   match choice with
-  | `Drop -> Queue.clear q
+  | `Drop ->
+      Queue.iter (function Apply _ as e -> fate e false | Fence -> ()) q;
+      Queue.clear q
   | `All ->
-      Queue.iter (function Apply (_, f) -> f () | Fence -> ()) q;
+      Queue.iter
+        (function
+          | Apply a as e ->
+              a.apply ();
+              fate e true
+          | Fence -> ())
+        q;
       Queue.clear q
   | `Prefix k ->
       let applied = ref 0 in
       while not (Queue.is_empty q) do
         match Queue.pop q with
         | Fence -> ()
-        | Apply (_, f) -> if !applied < k then begin f (); incr applied end
+        | Apply a as e ->
+            if !applied < k then begin
+              a.apply ();
+              incr applied;
+              fate e true
+            end
+            else fate e false
       done
 
 (* Heap-scoped resolution: walk a thread's queue once, resolving only the
@@ -481,9 +596,9 @@ let resolve_queue_scoped h on_victim q =
   let keep = Queue.create () in
   while not (Queue.is_empty q) do
     match Queue.pop q with
-    | Apply (hp, f) when hp == h -> on_victim (`Apply f)
+    | Apply a as e when a.aheap == h -> on_victim e
     | Fence as e ->
-        on_victim `Fence;
+        on_victim e;
         Queue.push e keep
     | Apply _ as e -> Queue.push e keep
   done;
@@ -491,9 +606,10 @@ let resolve_queue_scoped h on_victim q =
 
 (* Per-queue resolver closures mirroring the machine-wide resolvers'
    semantics on the victim-entry subsequence. *)
-let victim_resolver_rng rng =
+let victim_resolver_rng rng ~fate =
   match rng with
-  | None -> fun _ -> ()
+  | None -> (
+      function Apply _ as e -> fate e false | Fence -> ())
   | Some rng ->
       let fresh_mode () =
         if Random.State.bool rng then `Full
@@ -503,35 +619,89 @@ let victim_resolver_rng rng =
       let mode = ref (fresh_mode ()) in
       fun ev ->
         match ev with
-        | `Fence -> (
+        | Fence -> (
             match !mode with
             | `Full -> mode := fresh_mode ()
             | `Partial | `Drop -> mode := `Drop)
-        | `Apply f -> (
+        | Apply a as e -> (
             match !mode with
-            | `Full -> f ()
-            | `Partial -> if Random.State.bool rng then f ()
-            | `Drop -> ())
+            | `Full ->
+                a.apply ();
+                fate e true
+            | `Partial ->
+                if Random.State.bool rng then begin
+                  a.apply ();
+                  fate e true
+                end
+                else fate e false
+            | `Drop -> fate e false)
 
-let victim_resolver_deterministic choice =
+let victim_resolver_deterministic choice ~fate =
   match choice with
-  | `Drop -> fun _ -> ()
-  | `All -> ( function `Apply f -> f () | `Fence -> ())
+  | `Drop -> ( function Apply _ as e -> fate e false | Fence -> ())
+  | `All -> (
+      function
+      | Apply a as e ->
+          a.apply ();
+          fate e true
+      | Fence -> ())
   | `Prefix k ->
       let applied = ref 0 in
       fun ev ->
         match ev with
-        | `Fence -> ()
-        | `Apply f -> if !applied < k then begin f (); incr applied end
+        | Fence -> ()
+        | Apply a as e ->
+            if !applied < k then begin
+              a.apply ();
+              incr applied;
+              fate e true
+            end
+            else fate e false
+
+let resolution_label ?rng ?resolution () =
+  match resolution with
+  | Some `Drop -> "drop"
+  | Some `All -> "all"
+  | Some (`Prefix k) -> Printf.sprintf "prefix:%d" k
+  | None -> ( match rng with Some _ -> "rng" | None -> "drop")
 
 let crash ?rng ?resolution ?(scope = `Machine) h =
   let inst = instance () in
+  (* Forensic bookkeeping: every resolved write-back's fate, in tid order
+     (issue order within a tid), recorded unconditionally — this runs
+     once per crash, never on the hot path. *)
+  let fates = ref [] and n_persisted = ref 0 and n_dropped = ref 0 in
+  let fate_for tid e persisted =
+    (match e with
+    | Apply a ->
+        if persisted then incr n_persisted else incr n_dropped;
+        fates :=
+          {
+            cf_tid = tid;
+            cf_line = a.aline;
+            cf_site = a.asite;
+            cf_persisted = persisted;
+          }
+          :: !fates;
+        (match inst.iwb_obs with
+        | None -> ()
+        | Some obs ->
+            obs tid a.aline a.asite
+              (if persisted then Crash_persisted else Crash_dropped))
+    | Fence -> ())
+  in
   (match scope with
   | `Machine ->
       (match resolution with
       | Some choice ->
-          Array.iter (resolve_queue_deterministic choice) inst.pending
-      | None -> Array.iter (resolve_queue_at_crash rng) inst.pending);
+          Array.iteri
+            (fun tid q ->
+              resolve_queue_deterministic choice ~fate:(fate_for tid) q)
+            inst.pending
+      | None ->
+          Array.iteri
+            (fun tid q -> resolve_queue_at_crash rng ~fate:(fate_for tid) q)
+            inst.pending);
       Array.fill inst.wb_deadline 0 max_threads neg_infinity
   | `Heap ->
       (* Survivors' pending write-backs are untouched, so their
@@ -539,17 +709,69 @@ let crash ?rng ?resolution ?(scope = `Machine) h =
          alone.  Keeping a (now possibly stale) deadline for a thread
          whose victim entries were resolved only makes its next fence
          conservatively slower, never incorrect. *)
-      Array.iter
-        (fun q ->
+      Array.iteri
+        (fun tid q ->
           let on_victim =
             match resolution with
-            | Some choice -> victim_resolver_deterministic choice
-            | None -> victim_resolver_rng rng
+            | Some choice ->
+                victim_resolver_deterministic choice ~fate:(fate_for tid)
+            | None -> victim_resolver_rng rng ~fate:(fate_for tid)
           in
           resolve_queue_scoped h on_victim q)
         inst.pending);
-  List.iter (fun f -> f ()) h.resets;
-  List.iter (fun f -> f ()) h.metas
+  (* Revert every field to its durable value; fields with no durable
+     value come up poisoned, fields whose volatile value was newer lose
+     it, and both kinds of line are what a postmortem's durable-vs-
+     volatile diff names. *)
+  let pois = ref [] and rev = ref [] in
+  List.iter
+    (fun f ->
+      match f () with
+      | Rclean -> ()
+      | Rpoisoned l -> pois := l :: !pois
+      | Rreverted l -> rev := l :: !rev)
+    h.resets;
+  let dedup_capped acc =
+    match !acc with
+    | [] -> ([], 0)
+    | lines ->
+        let lines = List.rev lines in
+        let seen = Hashtbl.create 16 in
+        let total = ref 0 in
+        let uniq =
+          List.filter
+            (fun l ->
+              if Hashtbl.mem seen l then false
+              else begin
+                Hashtbl.add seen l ();
+                incr total;
+                true
+              end)
+            lines
+        in
+        let capped =
+          if !total <= poisoned_cap then uniq
+          else List.filteri (fun i _ -> i < poisoned_cap) uniq
+        in
+        (capped, !total)
+  in
+  let poisoned_capped, poisoned_total = dedup_capped pois in
+  let reverted_capped, reverted_total = dedup_capped rev in
+  List.iter (fun f -> f ()) h.metas;
+  inst.icrashes <-
+    {
+      cr_heap = h.hname;
+      cr_scope = scope;
+      cr_resolution = resolution_label ?rng ?resolution ();
+      cr_persisted = !n_persisted;
+      cr_dropped = !n_dropped;
+      cr_fates = List.rev !fates;
+      cr_poisoned = poisoned_capped;
+      cr_poisoned_total = poisoned_total;
+      cr_reverted = reverted_capped;
+      cr_reverted_total = reverted_total;
+    }
+    :: inst.icrashes
 
 (* ---- introspection ----------------------------------------------------- *)
 

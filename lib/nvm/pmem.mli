@@ -35,9 +35,17 @@ type trace_event =
           [invalidated] = number of {e other} caches that held the line and
           lost it to this store. *)
   | Cas of { tid : int; line : string; success : bool; invalidated : int }
-  | Pwb of { tid : int; site : string; impact : Pstats.category }
+  | Pwb of { tid : int; site : string; impact : Pstats.category; line : string }
+      (** [line] is the flushed cache line — the write-back's provenance,
+          paired with the issuing persist [site]. *)
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
+
+type wb_fate = Drained | Crash_persisted | Crash_dropped
+(** What finally happened to an issued write-back: [Drained] — completed
+    by a psync, a draining CAS, or queue-capacity completion;
+    [Crash_persisted] / [Crash_dropped] — resolved at a crash by the
+    adversarial resolution. *)
 
 val set_tracer : (trace_event -> unit) option -> unit
 (** Observability hook (see [Harness.Trace]): when set, every memory
@@ -50,6 +58,57 @@ val set_collector : (trace_event -> unit) option -> unit
     The tracer serializes events to a sink while the collector
     aggregates them; keeping them separate lets tracing and metrics run
     at once without clobbering each other's installation. *)
+
+val set_forensics : (trace_event -> unit) option -> unit
+(** Third, independent observability hook (see [Harness.Forensics]):
+    same event stream as tracer and collector, kept separate so a
+    forensic replay composes with tracing and metrics. *)
+
+val set_wb_observer : (int -> string -> string -> wb_fate -> unit) option -> unit
+(** Write-back fate hook, [obs tid line site fate]: fires once per issued
+    write-back when it is completed by a drain or resolved at a crash.
+    Zero cost when unset (one physical-equality check per drained
+    entry). *)
+
+(** {1 Crash forensics} *)
+
+type crash_fate = {
+  cf_tid : int;
+  cf_line : string;
+  cf_site : string;
+  cf_persisted : bool;
+}
+(** One resolved write-back at a crash: issuing thread, flushed line,
+    persist site, and whether the resolution completed it. *)
+
+type crash_report = {
+  cr_heap : string;  (** crashed heap's name *)
+  cr_scope : [ `Machine | `Heap ];
+  cr_resolution : string;  (** ["rng"], ["drop"], ["all"] or ["prefix:k"] *)
+  cr_persisted : int;  (** write-backs the resolution completed *)
+  cr_dropped : int;  (** write-backs lost at this crash *)
+  cr_fates : crash_fate list;
+      (** tid-ascending, issue order within a thread *)
+  cr_poisoned : string list;
+      (** distinct never-persisted lines after the reset (first
+          {!cr_poisoned_total} up to a cap of 64), newest
+          allocation first *)
+  cr_poisoned_total : int;
+  cr_reverted : string list;
+      (** distinct lines whose volatile value was lost at the crash —
+          reverted to an older durable value (the other half of the
+          durable-vs-volatile diff); capped like {!cr_poisoned} *)
+  cr_reverted_total : int;
+}
+(** The forensic record of one {!crash}: which write-backs the
+    adversarial resolution persisted vs dropped, which lines came up
+    poisoned, and which reverted to stale durable values.  Recorded
+    unconditionally — crashes are rare and this never touches the hot
+    path. *)
+
+val crash_reports : unit -> crash_report list
+(** Every crash of the current instance since the last {!reset_pending},
+    oldest first. *)
 
 (** {1 Instances}
 
@@ -193,4 +252,4 @@ val max_outstanding_writebacks : unit -> int
 
 val reset_pending : unit -> unit
 (** Drop all pending write-backs of all threads in the current instance
-    (between experiments). *)
+    and clear its crash log (between experiments). *)

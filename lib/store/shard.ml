@@ -112,8 +112,12 @@ let serve t ~batch ~activation_ns ~poll_ns ~restart_ns ~wb ~live ~on_complete =
       Metrics.op_begin
         ~kind:(Metrics.kind_of_op req.op)
         ~key:(Set_intf.op_key req.op);
+      Forensics.op_begin ~tid:t.server_tid
+        ~kind:(Metrics.kind_of_op req.op)
+        ~key:(Set_intf.op_key req.op);
       let ok = Set_intf.apply t.algo req.op in
       Metrics.op_end ~ok;
+      Forensics.op_end ~tid:t.server_tid ~ok;
       t.inflight <- None;
       complete req ~ok ~recovered:false;
       incr n
@@ -137,13 +141,19 @@ let serve t ~batch ~activation_ns ~poll_ns ~restart_ns ~wb ~live ~on_complete =
     | `Rng -> Pmem.crash ~rng:(Sim.random_state ()) ~scope:`Heap t.heap
     | (`Drop | `All | `Prefix _) as resolution ->
         Pmem.crash ~resolution ~scope:`Heap t.heap);
+    (* there are no campaign rounds in a serve: attribute the crash to no
+       round (the heap name carries the shard identity) *)
+    Forensics.note_crash ~round:(-1);
     Sim.step restart_ns;
     t.algo.Set_intf.recover_structure ();
     (match t.inflight with
     | Some (req, token) ->
         Metrics.op_begin ~kind:"recover" ~key:(Set_intf.op_key req.op);
+        Forensics.op_begin ~tid:t.server_tid ~kind:"recover"
+          ~key:(Set_intf.op_key req.op);
         let ok = t.algo.Set_intf.recover token in
         Metrics.op_end ~ok;
+        Forensics.op_end ~tid:t.server_tid ~ok;
         t.inflight <- None;
         t.recovered <- t.recovered + 1;
         complete req ~ok ~recovered:true

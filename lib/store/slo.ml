@@ -26,6 +26,19 @@ type degraded = {
   dg_survivor_mops : float;
 }
 
+(* One shard's slice of one virtual-time window: the raw material of the
+   Perfetto counter tracks and the windows CSV.  Rows are flat
+   (window x shard) so consumers never have to re-join. *)
+type window = {
+  w_index : int;
+  w_start_ns : float;
+  w_end_ns : float;
+  w_sid : int;
+  w_completions : int;
+  w_mops : float;
+  w_lat_mean_ns : float option;
+}
+
 type report = {
   total_requests : int;
   completed : int;
@@ -40,6 +53,8 @@ type report = {
   lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
+  windows : window list;  (* window-major, then shard id; [] if empty run *)
+  window_ns : float;
   divergences : int;
 }
 
@@ -59,8 +74,10 @@ let latency (req : Shard.request) =
   | Shard.Done { done_ns; _ } ->
       Some (Float.max 0. (done_ns -. req.Shard.submit_ns))
 
-let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
-    =
+let default_window_count = 8
+
+let build ?window_ns ~total ~divergences ~requests ~(shards : Shard.t array)
+    ~crash_victim () =
   let completed = ref 0 and lost = ref 0 in
   let first_submit = ref infinity and last_done = ref 0. in
   let lats = ref [] in
@@ -135,6 +152,59 @@ let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
             }
         end
   in
+  (* Windowed per-shard time-series: split [first_submit, last_done] into
+     fixed virtual-time windows and bucket completions by [done_ns].
+     Every (window, shard) cell is emitted — including empty ones — so
+     the counter tracks and the CSV have a regular grid. *)
+  let wn =
+    match window_ns with
+    | Some w when w > 0. -> w
+    | _ ->
+        if makespan <= 0. then 0.
+        else Float.max 1. (makespan /. float_of_int default_window_count)
+  in
+  let windows =
+    if !completed = 0 || wn <= 0. then []
+    else begin
+      let nshards = Array.length shards in
+      let nwin =
+        max 1 (int_of_float (ceil (makespan /. wn)))
+      in
+      let counts = Array.make_matrix nwin nshards 0 in
+      let lat_sums = Array.make_matrix nwin nshards 0. in
+      List.iter
+        (fun (r : Shard.request) ->
+          match r.Shard.state with
+          | Shard.Pending -> ()
+          | Shard.Done { done_ns; _ } ->
+              let w =
+                int_of_float ((done_ns -. !first_submit) /. wn)
+              in
+              let w = max 0 (min (nwin - 1) w) in
+              counts.(w).(r.Shard.rsid) <- counts.(w).(r.Shard.rsid) + 1;
+              lat_sums.(w).(r.Shard.rsid) <-
+                lat_sums.(w).(r.Shard.rsid)
+                +. Float.max 0. (done_ns -. r.Shard.submit_ns))
+        requests;
+      List.concat
+        (List.init nwin (fun w ->
+             List.init nshards (fun sid ->
+                 let n = counts.(w).(sid) in
+                 {
+                   w_index = w;
+                   w_start_ns = !first_submit +. (float_of_int w *. wn);
+                   w_end_ns = !first_submit +. (float_of_int (w + 1) *. wn);
+                   w_sid = sid;
+                   w_completions = n;
+                   w_mops =
+                     (if wn <= 0. then 0.
+                      else float_of_int n /. wn *. 1000.);
+                   w_lat_mean_ns =
+                     (if n = 0 then None
+                      else Some (lat_sums.(w).(sid) /. float_of_int n));
+                 })))
+    end
+  in
   {
     total_requests = total;
     completed = !completed;
@@ -153,6 +223,8 @@ let build ~total ~divergences ~requests ~(shards : Shard.t array) ~crash_victim
     lat_p99_ns = quantile lats 0.99;
     degraded;
     shards = stats;
+    windows;
+    window_ns = wn;
     divergences;
   }
 
@@ -253,5 +325,33 @@ let to_json r =
         (String.concat ","
            (List.map (fun d -> Printf.sprintf "%.1f" d) s.ss_recovery_ns)))
     r.shards;
+  f "],\"window_ns\":%.1f,\"windows\":[" r.window_ns;
+  List.iteri
+    (fun i w ->
+      if i > 0 then f ",";
+      f
+        "{\"index\":%d,\"start_ns\":%.1f,\"end_ns\":%.1f,\"sid\":%d,\"completions\":%d,\"mops\":%.6f,\"lat_mean_ns\":%s}"
+        w.w_index w.w_start_ns w.w_end_ns w.w_sid w.w_completions w.w_mops
+        (match w.w_lat_mean_ns with
+        | None -> "null"
+        | Some ns -> Printf.sprintf "%.1f" ns))
+    r.windows;
   f "],\"divergences\":%d}" r.divergences;
+  Buffer.contents b
+
+(* The per-shard windowed time-series as CSV (one row per window x shard,
+   fixed precision so output is byte-stable). *)
+let windows_csv r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "window,start_ns,end_ns,shard,completions,throughput_mops,lat_mean_ns\n";
+  List.iter
+    (fun w ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%.1f,%.1f,%d,%d,%.6f,%s\n" w.w_index w.w_start_ns
+           w.w_end_ns w.w_sid w.w_completions w.w_mops
+           (match w.w_lat_mean_ns with
+           | None -> ""
+           | Some ns -> Printf.sprintf "%.1f" ns)))
+    r.windows;
   Buffer.contents b

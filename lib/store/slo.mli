@@ -27,6 +27,20 @@ type degraded = {
   dg_survivor_mops : float;
 }
 
+type window = {
+  w_index : int;
+  w_start_ns : float;
+  w_end_ns : float;
+  w_sid : int;
+  w_completions : int;
+  w_mops : float;
+  w_lat_mean_ns : float option;  (** [None] for an empty cell *)
+}
+(** One shard's slice of one virtual-time window — the raw material of
+    the Perfetto counter tracks ([Trace.win] events) and of
+    {!windows_csv}.  The grid is regular: every (window, shard) cell
+    appears, including empty ones. *)
+
 type report = {
   total_requests : int;
   completed : int;
@@ -44,6 +58,8 @@ type report = {
   lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
+  windows : window list;  (** window-major, then shard id; [[]] if empty *)
+  window_ns : float;  (** width actually used (makespan/8 by default) *)
   divergences : int;  (** schedule-replay divergences (0 unless replaying) *)
 }
 
@@ -52,12 +68,16 @@ val latency : Shard.request -> float option
     pending. *)
 
 val build :
+  ?window_ns:float ->
   total:int ->
   divergences:int ->
   requests:Shard.request list ->
   shards:Shard.t array ->
   crash_victim:int option ->
+  unit ->
   report
+(** [window_ns] sets the windowed time-series' bucket width; by default
+    the makespan is split into 8 windows. *)
 
 val check : crash_expected:bool -> report -> (unit, string) result
 (** The `--check` gate: at least one completed request (an empty run
@@ -68,3 +88,8 @@ val check : crash_expected:bool -> report -> (unit, string) result
 
 val pp : Format.formatter -> report -> unit
 val to_json : report -> string
+
+val windows_csv : report -> string
+(** The windowed time-series as CSV
+    ([window,start_ns,end_ns,shard,completions,throughput_mops,lat_mean_ns]),
+    byte-stable. *)

@@ -227,10 +227,20 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
           match shard_error with
           | Some msg -> Error msg
           | None ->
-              Ok
-                (Slo.build ~total ~divergences:!divergences
-                   ~requests:!requests ~shards
-                   ~crash_victim:(victim_of cfg.crash))))
+              let report =
+                Slo.build ~total ~divergences:!divergences
+                  ~requests:!requests ~shards
+                  ~crash_victim:(victim_of cfg.crash) ()
+              in
+              if Trace.active () then
+                List.iter
+                  (fun (w : Slo.window) ->
+                    Trace.win ~sid:w.Slo.w_sid ~index:w.Slo.w_index
+                      ~start_ns:w.Slo.w_start_ns ~end_ns:w.Slo.w_end_ns
+                      ~completions:w.Slo.w_completions ~mops:w.Slo.w_mops
+                      ~lat_mean_ns:w.Slo.w_lat_mean_ns)
+                  report.Slo.windows;
+              Ok report))
 
 (* ---- bounded exhaustive exploration ----------------------------------- *)
 

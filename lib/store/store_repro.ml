@@ -336,3 +336,46 @@ let replay r =
           Error (Printf.sprintf "%d lost requests" report.Slo.lost)
       | Ok _ -> Ok ()
       | Error _ as e -> e)
+
+(* ---- forensic explain -------------------------------------------------- *)
+
+(* Like [replay], but under the Forensics recorder, returning the
+   postmortem of the recorded failure.  The same faithfulness rules
+   apply: a diverged schedule, a passing replay or a different failure
+   message all refuse to produce a postmortem — it must describe the
+   recorded execution. *)
+let explain r =
+  match config_of r with
+  | Error e -> Error e
+  | Ok cfg ->
+      Forensics.start ();
+      Fun.protect ~finally:Forensics.stop (fun () ->
+          let result = Store.run ~schedule:r.schedule cfg in
+          match result with
+          | Ok report when report.Slo.divergences > 0 ->
+              Error
+                (Printf.sprintf
+                   "schedule divergence (%d entries not honored): the replay \
+                    executed a different interleaving"
+                   report.Slo.divergences)
+          | Ok report when report.Slo.lost > 0 ->
+              let error = Printf.sprintf "%d lost requests" report.Slo.lost in
+              if String.equal error r.error then
+                Ok (Forensics.build ~algo:r.algo ~seed:r.seed ~error)
+              else
+                Error
+                  (Printf.sprintf
+                     "replay failed differently: recorded %S, replay produced \
+                      %S"
+                     r.error error)
+          | Ok _ ->
+              Error "the repro did not fail on replay — nothing to explain"
+          | Error error ->
+              if String.equal error r.error then
+                Ok (Forensics.build ~algo:r.algo ~seed:r.seed ~error)
+              else
+                Error
+                  (Printf.sprintf
+                     "replay failed differently: recorded %S, replay produced \
+                      %S"
+                     r.error error))

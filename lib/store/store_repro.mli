@@ -46,3 +46,11 @@ val replay : t -> (unit, string) result
 (** Re-run the recorded serve under its recorded schedule.  [Ok ()] if
     the run now passes (the failure did not reproduce); [Error] with the
     reproduced failure, or a fatal schedule-divergence report. *)
+
+val explain : t -> (Forensics.postmortem, string) result
+(** Replay the serve under the [Forensics] recorder and return the
+    postmortem of its failure.  Like {!replay}, a schedule divergence is
+    an error; so are a passing replay and a replay failing with a
+    different message — a postmortem must describe the recorded
+    execution.  Deterministic: the same repro explains to byte-identical
+    renderings. *)

@@ -22,6 +22,7 @@ let () =
       ("memento", Test_memento.suite);
       ("repro", Test_repro.suite);
       ("explore", Test_explore.suite);
+      ("forensics", Test_forensics.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
       ("store", Test_store.suite);

@@ -314,7 +314,7 @@ let test_explore_catches_broken_variant () =
 let test_empty_report_has_no_quantiles () =
   let r =
     Slo.build ~total:0 ~divergences:0 ~requests:[] ~shards:[||]
-      ~crash_victim:None
+      ~crash_victim:None ()
   in
   Alcotest.(check bool) "quantiles absent" true
     (r.Slo.lat_mean_ns = None
