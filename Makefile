@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke
 
 build:
 	dune build
@@ -101,6 +101,22 @@ forensics-smoke:
 	dune exec bin/repro.exe -- explain --json -j 4 repros/memento-broken.repro \
 	  > _build/forensics-mb-j4.json
 	cmp _build/forensics-mb-j1.json _build/forensics-mb-j4.json
+
+# Persistent-space accounting smoke: the default variant set must pass
+# the detectable-object lower-bound check (--check), report live/meta/
+# garbage accounting for the core variants, and render byte-identically
+# at -j 1 and -j 4 (the registry is domain-local; see DESIGN.md
+# "Persistent-space accounting").
+space-smoke:
+	dune exec bin/repro.exe -- space --check -j 1 --json _build/space-j1.json \
+	  | grep -v '^wrote ' > _build/space-j1.txt
+	grep -q 'memento-comb' _build/space-j1.txt
+	grep -q 'arXiv 2002.11378' _build/space-j1.txt
+	grep -q '"lower_bound_ok":true' _build/space-j1.json
+	dune exec bin/repro.exe -- space --check -j 4 --json _build/space-j4.json \
+	  | grep -v '^wrote ' > _build/space-j4.txt
+	cmp _build/space-j1.txt _build/space-j4.txt
+	cmp _build/space-j1.json _build/space-j4.json
 
 clean:
 	dune clean

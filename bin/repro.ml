@@ -646,6 +646,123 @@ let stats_cmd =
       const run $ algo $ mix $ threads $ ops $ crashes $ key_range $ seed
       $ top $ json)
 
+(* -- space ---------------------------------------------------------------- *)
+
+let space_cmd =
+  let variants =
+    Arg.(
+      value & pos_all algo_conv []
+      & info [] ~docv:"ALGO"
+          ~doc:
+            "Implementations to account (default: tracking, tracking-hash, \
+             capsules-opt, memento-list, memento-comb).")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Logical threads.")
+  in
+  let ops =
+    Arg.(value & opt int 120 & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let crashes =
+    Arg.(value & opt int 3 & info [ "crashes" ] ~doc:"Max crashes injected.")
+  in
+  let key_range =
+    Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key range size.")
+  in
+  let prefill =
+    Arg.(value & opt int 16 & info [ "prefill" ] ~doc:"Keys inserted before the run.")
+  in
+  let find_pct =
+    Arg.(
+      value & opt int 20
+      & info [ "find-pct" ] ~docv:"P" ~doc:"Percentage of find operations.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to $(docv) (\"-\" = stdout).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also write the summary table as CSV to $(docv) (\"-\" = stdout).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero if any run failed or any detectable variant fell \
+             below the metadata space lower bound.")
+  in
+  let run variants threads ops find_pct crashes key_range prefill seed jobs
+      json csv strict =
+    let variants =
+      if variants <> [] then variants
+      else
+        List.map
+          (fun n ->
+            match Set_intf.by_name n with
+            | Ok f -> f
+            | Error msg -> failwith msg)
+          [ "tracking"; "tracking-hash"; "capsules-opt"; "memento-list";
+            "memento-comb" ]
+    in
+    let cfg =
+      Space.
+        {
+          threads;
+          ops_per_thread = ops;
+          find_pct;
+          key_range;
+          prefill;
+          max_crashes = crashes;
+          seed;
+        }
+    in
+    let rs = Space.campaign ~jobs:(resolve_jobs jobs) cfg variants in
+    let emit dst text =
+      match dst with
+      | "-" -> print_string text
+      | p ->
+          Out_channel.with_open_text p (fun oc ->
+              Out_channel.output_string oc text);
+          Format.printf "wrote %s@." p
+    in
+    (* --json - / --csv - own stdout: suppress the human report there. *)
+    if json <> Some "-" && csv <> Some "-" then
+      print_string (Space.render_text cfg rs);
+    (match json with
+    | Some dst -> emit dst (Space.render_json cfg rs)
+    | None -> ());
+    (match csv with
+    | Some dst -> emit dst (Space.render_csv rs)
+    | None -> ());
+    if strict then
+      match Space.check rs with
+      | Ok () -> ()
+      | Error msg ->
+          Format.printf "@.SPACE CHECK FAILED — %s@." msg;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "space"
+       ~doc:
+         "Run one seeded crash campaign per implementation with the \
+          allocation registry attached and account every persistent cache \
+          line: live payload vs detectability metadata vs garbage, \
+          space-per-op, metadata-overhead ratio, garbage growth over \
+          virtual time, and the detectable-object space lower bound \
+          (arXiv 2002.11378).")
+    Term.(
+      const run $ variants $ threads $ ops $ find_pct $ crashes $ key_range
+      $ prefill $ seed $ jobs_arg $ json $ csv $ strict)
+
 (* -- causal --------------------------------------------------------------- *)
 
 let causal_cmd =
@@ -1277,5 +1394,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "repro" ~doc)
           [ figures_cmd; sweep_cmd; crash_cmd; explore_cmd; replay_cmd;
-            explain_cmd; soak_cmd; classify_cmd; stats_cmd; trace_cmd;
-            causal_cmd; serve_cmd ]))
+            explain_cmd; soak_cmd; classify_cmd; stats_cmd; space_cmd;
+            trace_cmd; causal_cmd; serve_cmd ]))

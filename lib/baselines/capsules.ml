@@ -267,3 +267,15 @@ let recover t op =
 
 let to_list t = Harris.to_list t.list
 let check_invariants t = Harris.check_invariants t.list
+
+(* Space-sweep enumeration: the underlying chain plus the per-thread
+   capsule-state lines.  An insert's pre-CAS node referenced only from
+   the capsule state is still accounted (as capsule metadata holding it);
+   unlinked chain nodes are garbage by omission. *)
+let space t =
+  let chain = Harris.space t.list in
+  let caps =
+    Array.to_list t.states
+    |> List.map (fun cell -> (Pmem.line_of cell, `Meta "capsule"))
+  in
+  chain @ caps

@@ -39,3 +39,8 @@ val apply : t -> op -> bool
 
 val to_list : t -> int list
 val check_invariants : t -> (unit, string) result
+
+val space : t -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): the underlying
+    chain's [Harris.space] plus the per-thread capsule-state lines as
+    ["capsule"] metadata. *)

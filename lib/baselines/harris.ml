@@ -152,3 +152,22 @@ let check_invariants t =
   match (Pmem.peek t.head.next).succ with
   | None -> err "head has no successor"
   | Some first -> go t.head first
+
+(* Space-sweep enumeration: the chain as reachable from the head,
+   sentinels and marked (logically deleted) nodes as empty payload so
+   their bytes are still accounted to the structure — a marked node
+   occupies space until a traversal snips it, after which it drops out
+   of this enumeration and counts as garbage. *)
+let space t =
+  let acc = ref [] in
+  let rec go nd =
+    let link = Pmem.peek nd.next in
+    let cls =
+      if link.marked || nd.key = min_int || nd.key = max_int then `Payload []
+      else `Payload [ nd.key ]
+    in
+    acc := (nd.line, cls) :: !acc;
+    match link.succ with None -> () | Some next -> go next
+  in
+  go t.head;
+  List.rev !acc

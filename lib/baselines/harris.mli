@@ -74,3 +74,8 @@ val find : t -> int -> bool
 
 val to_list : t -> int list
 val check_invariants : t -> (unit, string) result
+
+val space : t -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): every node still
+    linked from the head, with sentinels and marked nodes as empty
+    payload.  Physically unlinked nodes are garbage by omission. *)

@@ -288,3 +288,30 @@ let check_invariants t =
   match Pmem.peek t.head.next with
   | None -> err "head broken"
   | Some first -> sorted t.head first
+
+(* Space-sweep enumeration.  The list chain is the payload; the redo-log
+   batches, checkpoint marker and lock are ["log"] metadata, and the
+   announce/result cells are per-thread detectability state.  Batches
+   before the checkpoint marker stay linked from the log head until a
+   crash truncates the chain, so they are still accounted here; unlinked
+   list nodes are garbage by omission. *)
+let space t =
+  let acc = ref [] in
+  let push line cls = acc := (line, cls) :: !acc in
+  let rec chain nd =
+    push nd.line
+      (if nd.key = min_int || nd.key = max_int then `Payload []
+       else `Payload [ nd.key ]);
+    match Pmem.peek nd.next with None -> () | Some next -> chain next
+  in
+  chain t.head;
+  let rec log b =
+    push b.bline (`Meta "log");
+    match Pmem.peek b.bnext with None -> () | Some next -> log next
+  in
+  log t.log_head;
+  push (Pmem.line_of t.ckpt_marker) (`Meta "log");
+  push (Pmem.line_of t.lock) (`Meta "log");
+  Array.iter (fun cell -> push (Pmem.line_of cell) (`Meta "announce")) t.ann;
+  Array.iter (fun cell -> push (Pmem.line_of cell) (`Meta "result")) t.res;
+  List.rev !acc

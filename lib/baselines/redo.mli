@@ -33,3 +33,8 @@ val recover : t -> op -> bool
 
 val to_list : t -> int list
 val check_invariants : t -> (unit, string) result
+
+val space : t -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): the list chain as
+    payload; redo-log batches, checkpoint marker and lock as ["log"]
+    metadata; announce/result cells as per-thread detectability state. *)

@@ -334,3 +334,28 @@ let check_invariants t =
         && to_list_from t.head_m <> to_list_from t.head_b
       then err "main and back copies diverge while idle"
       else Ok ()
+
+(* Space-sweep enumeration.  The main copy holds the payload; the entire
+   back copy is detectability overhead (["back-copy"]), as are the
+   announce/result cells and the lock/version/commit control words.
+   Nodes orphaned by deletes or crash-time restores are garbage by
+   omission. *)
+let space t =
+  let acc = ref [] in
+  let push line cls = acc := (line, cls) :: !acc in
+  let rec chain cls_of nd =
+    push nd.line (cls_of nd);
+    match Pmem.peek nd.next with None -> () | Some next -> chain cls_of next
+  in
+  chain
+    (fun nd ->
+      if nd.key = min_int || nd.key = max_int then `Payload []
+      else `Payload [ nd.key ])
+    t.head_m;
+  chain (fun _ -> `Meta "back-copy") t.head_b;
+  Array.iter (fun cell -> push (Pmem.line_of cell) (`Meta "announce")) t.ann;
+  Array.iter (fun cell -> push (Pmem.line_of cell) (`Meta "result")) t.res;
+  push (Pmem.line_of t.lock) (`Meta "log");
+  push (Pmem.line_of t.version) (`Meta "log");
+  push (Pmem.line_of t.commit) (`Meta "log");
+  List.rev !acc

@@ -32,3 +32,9 @@ val recover : t -> op -> bool
 
 val to_list : t -> int list
 val check_invariants : t -> (unit, string) result
+
+val space : t -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): the main copy as
+    payload, the entire back copy as ["back-copy"] metadata, plus the
+    announce/result cells and control words.  Orphaned twins are garbage
+    by omission. *)

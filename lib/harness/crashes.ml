@@ -72,7 +72,7 @@ let config_of (r : Repro.t) =
    schedule-replay entry that could not be honored.  The returned round
    log always reflects what actually happened, so a failure can be
    replayed — or shrunk — from it. *)
-let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
+let run_logged ?(script = []) ?on_divergence ?ctl ?observe cfg ~seed =
   Pmem.reset_pending ();
   Pstats.set_all_enabled true;
   let rng = Random.State.make [| seed; 0xC2A5 |] in
@@ -265,13 +265,18 @@ let run_logged ?(script = []) ?on_divergence ?ctl cfg ~seed =
                     divergences = !divergences;
                   }))
   in
+  Metrics.note_heap_occupancy ~heap:(Pmem.heap_name heap)
+    ~lines:(Pmem.lines_allocated heap);
+  (* Post-run observation hook: the heap and structure are about to go out
+     of scope, so this is the last point a space sweep can see them. *)
+  (match observe with None -> () | Some f -> f heap algo);
   (match result with
   | Error msg -> Trace.note ("FAILURE: " ^ msg)
   | Ok _ -> ());
   (result, List.rev !log)
 
-let run_once ?script ?repro_file cfg ~seed =
-  let result, rounds = run_logged ?script cfg ~seed in
+let run_once ?script ?repro_file ?observe cfg ~seed =
+  let result, rounds = run_logged ?script ?observe cfg ~seed in
   (match (result, repro_file) with
   | Error error, Some path -> Repro.save path (repro_of cfg ~seed ~error ~rounds)
   | _ -> ());

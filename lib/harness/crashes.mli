@@ -52,18 +52,22 @@ type ctl = {
 val run_once :
   ?script:Repro.round list ->
   ?repro_file:string ->
+  ?observe:(Pmem.heap -> Set_intf.t -> unit) ->
   config ->
   seed:int ->
   (outcome, string) result
 (** One seeded run; [Error] describes the first detected violation.
     [script] forces the crash point, schedule and write-back resolution
     of its rounds (later rounds run free).  With [repro_file], a failing
-    run writes a replayable {!Repro.t} there. *)
+    run writes a replayable {!Repro.t} there.  [observe] fires once after
+    the verdict, while the run's heap and structure are still in scope —
+    the space sweep's entry point. *)
 
 val run_logged :
   ?script:Repro.round list ->
   ?on_divergence:(round:int -> step:int -> want:int -> unit) ->
   ?ctl:ctl ->
+  ?observe:(Pmem.heap -> Set_intf.t -> unit) ->
   config ->
   seed:int ->
   (outcome, string) result * Repro.round list

@@ -121,7 +121,7 @@ let touch_round st op =
   | _ -> op.o_rounds <- st.s_round :: op.o_rounds
 
 let on_event st : Pmem.trace_event -> unit = function
-  | Pmem.Read _ | Pmem.Pfence _ | Pmem.Psync _ -> ()
+  | Pmem.Read _ | Pmem.Pfence _ | Pmem.Psync _ | Pmem.Alloc _ -> ()
   | Pmem.Write { tid; line; _ } -> note_write st tid line
   | Pmem.Cas { tid; line; success; _ } ->
       (match st.s_cur.(tid) with

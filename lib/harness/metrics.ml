@@ -43,6 +43,14 @@ type centry = {
   mutable ce_invals : int;
 }
 
+(* One allocation-site row: lines allocated under this (heap, site) pair,
+   maintained by the Pmem collector's Alloc arm. *)
+type aentry = {
+  ae_heap : string;
+  ae_site : string;
+  mutable ae_count : int;
+}
+
 let n_buckets = 256
 let max_t = Pmem.max_threads
 
@@ -84,6 +92,10 @@ type state = {
   mutable n_spans : int;
   mutable sp_dropped : int;
   contention_tbl : (string, centry) Hashtbl.t;
+  alloc_tbl : (string, aentry) Hashtbl.t;  (* keyed "heap\000site" *)
+  (* lines_allocated per heap, snapshotted by the harness after a run
+     (occupancy without the full space sweep) *)
+  heap_occ_tbl : (string, int) Hashtbl.t;
   mutable recovery_cur : float;
   mutable recovery_rev : (int * float) list;
 }
@@ -156,6 +168,8 @@ let fresh_state () =
       n_spans = 0;
       sp_dropped = 0;
       contention_tbl = Hashtbl.create 64;
+      alloc_tbl = Hashtbl.create 64;
+      heap_occ_tbl = Hashtbl.create 8;
       recovery_cur = 0.;
       recovery_rev = [];
     }
@@ -408,6 +422,60 @@ let contention_top n =
            ct_invalidations = e.ce_invals;
          })
 
+(* ---- allocation-site table --------------------------------------------- *)
+
+type alloc_site = { as_heap : string; as_site : string; as_lines : int }
+
+let bump_alloc st ~heap ~site =
+  let key = heap ^ "\000" ^ site in
+  let e =
+    match Hashtbl.find_opt st.alloc_tbl key with
+    | Some e -> e
+    | None ->
+        let e = { ae_heap = heap; ae_site = site; ae_count = 0 } in
+        Hashtbl.add st.alloc_tbl key e;
+        e
+  in
+  e.ae_count <- e.ae_count + 1;
+  st.events <- st.events + 1
+
+let alloc_sites_top n =
+  let st = state () in
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) st.alloc_tbl [] in
+  let all =
+    List.sort
+      (fun a b ->
+        let c = compare b.ae_count a.ae_count in
+        if c <> 0 then c
+        else
+          let c = compare a.ae_heap b.ae_heap in
+          if c <> 0 then c else compare a.ae_site b.ae_site)
+      all
+  in
+  List.filteri (fun i _ -> i < n) all
+  |> List.map (fun e ->
+         { as_heap = e.ae_heap; as_site = e.ae_site; as_lines = e.ae_count })
+
+let note_heap_occupancy ~heap ~lines =
+  let st = state () in
+  if st.enabled then begin
+    Hashtbl.replace st.heap_occ_tbl heap lines;
+    st.events <- st.events + 1
+  end
+
+let heap_occupancy () =
+  let st = state () in
+  Hashtbl.fold (fun h n acc -> (h, n) :: acc) st.heap_occ_tbl []
+  |> List.sort compare
+
+(* The kind of the calling thread's in-flight operation span, "" between
+   spans — the space observer uses it to attribute allocations to the
+   operation that made them. *)
+let current_op_kind () =
+  let st = state () in
+  let tid = vtid () in
+  if tid >= 0 && tid < max_t then st.cur_kind.(tid) else ""
+
 (* Only installed while enabled, so no per-event guard is needed here. *)
 let on_pmem_event : Pmem.trace_event -> unit = function
   | Pmem.Cas { tid; line; success; invalidated } ->
@@ -422,6 +490,7 @@ let on_pmem_event : Pmem.trace_event -> unit = function
       if invalidated > 0 then
         let st = state () in
         bump st line ~fails:0 ~invals:invalidated
+  | Pmem.Alloc { heap; site; _ } -> bump_alloc (state ()) ~heap ~site
   | Pmem.Read _ | Pmem.Pwb _ | Pmem.Pfence _ | Pmem.Psync _ -> ()
 
 let on_helped owner =
@@ -475,6 +544,8 @@ let reset () =
   List.iter (fun c -> c.c <- 0) st.counters_rev;
   List.iter (fun g -> g.g <- 0.) st.gauges_rev;
   Hashtbl.reset st.contention_tbl;
+  Hashtbl.reset st.alloc_tbl;
+  Hashtbl.reset st.heap_occ_tbl;
   st.spans_rev <- [];
   st.n_spans <- 0;
   st.sp_dropped <- 0;

@@ -139,6 +139,32 @@ type contention = {
 val contention_top : int -> contention list
 (** Top-N lines by CAS failures (ties by invalidations). *)
 
+(** {1 Allocation-site table} *)
+
+type alloc_site = {
+  as_heap : string;  (** owning heap *)
+  as_site : string;  (** allocation site ([Pmem.site_of_name]) *)
+  as_lines : int;  (** cache lines allocated at this (heap, site) *)
+}
+
+val alloc_sites_top : int -> alloc_site list
+(** Top-N allocation sites by lines allocated (ties by heap then site
+    name), aggregated from the [Pmem.Alloc] collector events while
+    metrics were enabled. *)
+
+val note_heap_occupancy : heap:string -> lines:int -> unit
+(** Snapshot a heap's [Pmem.lines_allocated] into the registry (the
+    harness calls this once after a run) — occupancy in every report
+    without enabling the full space sweep.  No-op when disabled. *)
+
+val heap_occupancy : unit -> (string * int) list
+(** Snapshotted per-heap line counts, sorted by heap name. *)
+
+val current_op_kind : unit -> string
+(** Kind of the calling simulated thread's in-flight operation span
+    ([""] between spans) — lets the space observer attribute an
+    allocation to the operation performing it. *)
+
 (** {1 Recovery profile} *)
 
 val recovery_thread_done : unit -> unit

@@ -225,6 +225,9 @@ let convert ~jsonl ~out =
              terminates (ph:"f"), visually linking one operation's
              attempts across crash/recovery rounds *)
           let pending_flow : (int, int) Hashtbl.t = Hashtbl.create 8 in
+          (* cumulative per-heap occupancy, fed by "alloc" events and
+             rendered as one memory counter track per heap *)
+          let heap_lines : (string, int) Hashtbl.t = Hashtbl.create 4 in
           let flow_ids = ref 0 in
           let spans = ref 0 in
           let events = ref 0 in
@@ -352,6 +355,21 @@ let convert ~jsonl ~out =
                 close_open_spans ~flows:true "interrupted";
                 instant ~tid:0 ~scope:"g" ~name:"crash" ~ts:(now_global ())
                   ~args:""
+            | Some "alloc" -> (
+                match (fstr "heap" fields, fnum "clock" fields) with
+                | Some heap, Some clock ->
+                    clockbump clock;
+                    let n =
+                      1 + Option.value ~default:0 (Hashtbl.find_opt heap_lines heap)
+                    in
+                    Hashtbl.replace heap_lines heap n;
+                    raw
+                      (Printf.sprintf
+                         {|{"name":"heap %s occupancy (lines)","ph":"C","ts":%.3f,"pid":1,"args":{"lines":%d}}|}
+                         (esc heap)
+                         (us_of_ns (!offset +. clock))
+                         n)
+                | _ -> ())
             | Some "win" -> (
                 (* per-shard windowed time-series -> counter tracks *)
                 match

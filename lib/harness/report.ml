@@ -88,6 +88,23 @@ let pp_metrics ?(top = 10) ppf () =
           Format.fprintf ppf "%-32s %12d %14d@." c.Metrics.ct_line
             c.Metrics.ct_cas_failures c.Metrics.ct_invalidations)
         lines);
+  (match Metrics.alloc_sites_top top with
+  | [] -> ()
+  | sites ->
+      Format.fprintf ppf "@.— allocation: top %d sites —@." top;
+      Format.fprintf ppf "%-28s %-16s %8s@." "heap" "site" "lines";
+      List.iter
+        (fun (s : Metrics.alloc_site) ->
+          Format.fprintf ppf "%-28s %-16s %8d@." s.Metrics.as_heap
+            s.Metrics.as_site s.Metrics.as_lines)
+        sites);
+  (match Metrics.heap_occupancy () with
+  | [] -> ()
+  | heaps ->
+      Format.fprintf ppf "@.— heap occupancy (lines allocated) —@.";
+      List.iter
+        (fun (h, n) -> Format.fprintf ppf "%-28s %8d@." h n)
+        heaps);
   (match Metrics.recovery_durations () with
   | [] -> ()
   | rounds ->
@@ -193,7 +210,22 @@ let metrics_json ?(top = 10) () =
            (json_escape c.Metrics.ct_line) c.Metrics.ct_cas_failures
            c.Metrics.ct_invalidations))
     (Metrics.contention_top top);
-  add "],\"recovery_rounds\":[";
+  add "],\"alloc_sites\":[";
+  List.iteri
+    (fun i (s : Metrics.alloc_site) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf "{\"heap\":\"%s\",\"site\":\"%s\",\"lines\":%d}"
+           (json_escape s.Metrics.as_heap) (json_escape s.Metrics.as_site)
+           s.Metrics.as_lines))
+    (Metrics.alloc_sites_top top);
+  add "],\"heap_occupancy\":{";
+  List.iteri
+    (fun i (h, n) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\"%s\":%d" (json_escape h) n))
+    (Metrics.heap_occupancy ());
+  add "},\"recovery_rounds\":[";
   List.iteri
     (fun i (round, ns) ->
       if i > 0 then add ",";

@@ -35,6 +35,7 @@ type t = {
   recover_structure : unit -> unit;
   check : unit -> (unit, string) result;
   contents : unit -> int list;
+  space : unit -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list;
   supports_crash : bool;
 }
 
@@ -64,6 +65,7 @@ let tracking =
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
+          space = (fun () -> L.space l);
           supports_crash = true;
         });
   }
@@ -90,6 +92,7 @@ let tracking_bst =
           recover_structure = (fun () -> ());
           check = (fun () -> T.check_invariants t);
           contents = (fun () -> T.to_list t);
+          space = (fun () -> T.space t);
           supports_crash = true;
         });
   }
@@ -118,6 +121,7 @@ let tracking_no_ro_opt =
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
+          space = (fun () -> L.space l);
           supports_crash = true;
         });
   }
@@ -153,6 +157,7 @@ let tracking_broken =
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
+          space = (fun () -> L.space l);
           supports_crash = true;
         });
   }
@@ -179,6 +184,7 @@ let tracking_hash =
           recover_structure = (fun () -> ());
           check = (fun () -> H.check_invariants h);
           contents = (fun () -> List.sort compare (H.to_list h));
+          space = (fun () -> H.space h);
           supports_crash = true;
         });
   }
@@ -204,6 +210,7 @@ let capsules_factory name variant =
           recover_structure = (fun () -> ());
           check = (fun () -> Capsules.check_invariants c);
           contents = (fun () -> Capsules.to_list c);
+          space = (fun () -> Capsules.space c);
           supports_crash = true;
         });
   }
@@ -232,6 +239,7 @@ let romulus =
           recover_structure = (fun () -> Romulus.recover_structure r);
           check = (fun () -> Romulus.check_invariants r);
           contents = (fun () -> Romulus.to_list r);
+          space = (fun () -> Romulus.space r);
           supports_crash = true;
         });
   }
@@ -257,6 +265,7 @@ let redo =
           recover_structure = (fun () -> Redo.recover_structure r);
           check = (fun () -> Redo.check_invariants r);
           contents = (fun () -> Redo.to_list r);
+          space = (fun () -> Redo.space r);
           supports_crash = true;
         });
   }
@@ -278,6 +287,7 @@ let harris_volatile =
           recover_structure = (fun () -> ());
           check = (fun () -> Harris.check_invariants l);
           contents = (fun () -> Harris.to_list l);
+          space = (fun () -> Harris.space l);
           supports_crash = false;
         });
   }
@@ -324,6 +334,7 @@ let memento_list_factory fname ~prefix ~disable_site =
           recover_structure = (fun () -> ());
           check = (fun () -> L.check_invariants l);
           contents = (fun () -> L.to_list l);
+          space = (fun () -> L.space l);
           supports_crash = true;
         });
   }
@@ -369,6 +380,7 @@ let memento_comb =
           recover_structure = (fun () -> ());
           check = (fun () -> C.check_invariants c);
           contents = (fun () -> C.to_list c);
+          space = (fun () -> C.space c);
           supports_crash = true;
         });
   }

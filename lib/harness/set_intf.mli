@@ -38,6 +38,11 @@ type t = {
           replay); a no-op for the lock-free algorithms *)
   check : unit -> (unit, string) result;
   contents : unit -> int list;
+  space : unit -> (Pmem.line * [ `Payload of int list | `Meta of string ]) list;
+      (** persistent-space enumeration: every line reachable from the
+          structure's roots, classified as payload (with the keys it
+          holds) or detectability metadata ({!Space} consumes this to
+          classify the rest of the heap as garbage) *)
   supports_crash : bool;
       (** whether crash campaigns may include this implementation *)
 }

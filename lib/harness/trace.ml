@@ -78,6 +78,10 @@ let on_pmem_event : Pmem.trace_event -> unit = function
   | Pmem.Psync { tid; site } ->
       emit {|{"ev":"psync","tid":%d,"site":"%s","clock":%.1f}|} tid
         (escape site) (clk ())
+  | Pmem.Alloc { tid; heap; line; site } ->
+      emit
+        {|{"ev":"alloc","tid":%d,"heap":"%s","line":"%s","site":"%s","clock":%.1f}|}
+        tid (escape heap) (escape line) (escape site) (clk ())
 
 let stop () =
   match get_sink () with

@@ -193,6 +193,23 @@ module Make (K : Memento.KEY) = struct
                 (K.to_string b)
       in
       sorted v.items
+
+  (* Space-sweep enumeration.  The root line holds the entire current
+     version — every item — so it is the single payload line; announce
+     slots are ["board"] metadata (they play the announcement role the
+     boards play for Dcas), result checkpoints and invocation counters
+     are ["checkpoint"], Dcas boards ["board"]. *)
+  let space t =
+    let acc = ref [] in
+    let push line cls = acc := (line, cls) :: !acc in
+    push (Pmem.line_of t.root) (`Payload (Pmem.peek t.root).D.v.items);
+    List.iter (fun l -> push l (`Meta "checkpoint")) (Cp.lines t.res);
+    for i = 0 to t.ctx.Memento.threads - 1 do
+      push (Pmem.line_of (Pvar.cell t.announce i)) (`Meta "board");
+      push (Pmem.line_of (Pvar.cell t.ctx.Memento.seqs i)) (`Meta "checkpoint");
+      push (Pmem.line_of (Pvar.cell t.ctx.Memento.boards i)) (`Meta "board")
+    done;
+    List.rev !acc
 end
 
 module Int = Make (Mlist.Int_key)

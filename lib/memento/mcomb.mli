@@ -27,6 +27,14 @@ module Make (K : Memento.KEY) : sig
   val to_list : t -> K.t list
   val length : t -> int
   val check_invariants : t -> (unit, string) result
+
+  val space :
+    t -> (Pmem.line * [ `Payload of K.t list | `Meta of string ]) list
+  (** Persistent-space enumeration ([Harness.Space]): the root line
+      carries the whole current version's items as payload; announce
+      slots and Dcas boards are ["board"], checkpoints and invocation
+      counters ["checkpoint"].  Superseded versions are garbage by
+      omission. *)
 end
 
 module Int : module type of Make (Mlist.Int_key)

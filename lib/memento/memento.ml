@@ -175,6 +175,18 @@ module Checkpoint = struct
         Pmem.pwb_f h.ctx.s.cp_pwb c;
         Pmem.psync h.ctx.s.cp_sync;
         v
+
+  (* Space-sweep support: the per-thread cell lines, and the value a
+     thread last committed (whatever its invocation) — structures use the
+     latter to keep checkpoint-held allocations, e.g. a prepared insert
+     node, out of the garbage count. *)
+  let lines t =
+    List.init t.cctx.threads (fun i -> Pmem.line_of (Pvar.cell t.cells i))
+
+  let latest t tid =
+    match Pmem.peek (Pvar.cell t.cells tid) with
+    | Some { v; _ } -> Some v
+    | None -> None
 end
 
 module Dcas = struct

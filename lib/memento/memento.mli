@@ -84,6 +84,14 @@ module Checkpoint : sig
       returns it; a replay of the same invocation returns the recorded
       value without re-running [f].  A pfence orders whatever [f] flushed
       before the checkpoint's own write-back. *)
+
+  val lines : 'a t -> Pmem.line list
+  (** The per-thread cell lines, for the space sweep. *)
+
+  val latest : 'a t -> int -> 'a option
+  (** The value thread [tid] last committed, regardless of invocation —
+      lets structures keep checkpoint-held allocations out of the
+      garbage count. *)
 end
 
 module Dcas : sig

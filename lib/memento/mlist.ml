@@ -277,6 +277,35 @@ module Make (K : Memento.KEY) = struct
     match (Pmem.peek t.head.next).D.v.succ with
     | None -> err "head sentinel has no successor"
     | Some first -> go t.head first
+
+  (* Space-sweep enumeration: the chain (marked nodes and sentinels as
+     empty payload, matching [to_list]), the per-thread result and
+     prepared-node checkpoints, and the context's invocation counters and
+     boards.  A prepared node held only by its checkpoint is accounted as
+     checkpoint metadata until it is linked; snipped nodes are garbage by
+     omission. *)
+  let space t =
+    let acc = ref [] in
+    let push line cls = acc := (line, cls) :: !acc in
+    let rec chain nd =
+      let link = (Pmem.peek nd.next).D.v in
+      push nd.line
+        (match nd.key with
+        | Key k when not link.marked -> `Payload [ k ]
+        | _ -> `Payload []);
+      match link.succ with None -> () | Some next -> chain next
+    in
+    chain t.head;
+    List.iter (fun l -> push l (`Meta "checkpoint")) (Cp.lines t.res);
+    List.iter (fun l -> push l (`Meta "checkpoint")) (Cp.lines t.node_cp);
+    for i = 0 to t.ctx.Memento.threads - 1 do
+      (match Cp.latest t.node_cp i with
+      | Some nd -> push nd.line (`Meta "checkpoint")
+      | None -> ());
+      push (Pmem.line_of (Pvar.cell t.ctx.Memento.seqs i)) (`Meta "checkpoint");
+      push (Pmem.line_of (Pvar.cell t.ctx.Memento.boards i)) (`Meta "board")
+    done;
+    List.rev !acc
 end
 
 module Int_key = struct

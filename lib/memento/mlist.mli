@@ -29,6 +29,14 @@ module Make (K : Memento.KEY) : sig
   val to_list : t -> K.t list
   val length : t -> int
   val check_invariants : t -> (unit, string) result
+
+  val space :
+    t -> (Pmem.line * [ `Payload of K.t list | `Meta of string ]) list
+  (** Persistent-space enumeration ([Harness.Space]): the chain as
+      payload (marked nodes and sentinels carry no key), checkpoints and
+      prepared nodes as ["checkpoint"] metadata, invocation counters as
+      ["checkpoint"] and CAS boards as ["board"].  Snipped nodes are
+      garbage by omission. *)
 end
 
 module Int_key : Memento.KEY with type t = int

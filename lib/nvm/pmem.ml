@@ -9,6 +9,7 @@ type trace_event =
   | Pwb of { tid : int; site : string; impact : Pstats.category; line : string }
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
+  | Alloc of { tid : int; heap : string; line : string; site : string }
 
 (* What finally happened to an issued write-back: completed by a drain
    (psync, a draining CAS, or queue-capacity completion), or resolved at
@@ -88,6 +89,39 @@ type crash_report = {
 
 let poisoned_cap = 64
 
+(* Allocation-site convention: line names encode their site as a prefix —
+   a per-key payload line is "node:5" (site "node"), a per-thread
+   metadata cell is "rom.ann[3]" (site "rom.ann").  Deriving the site by
+   stripping the ":key" suffix and the "[index]" subscript turns the
+   existing naming discipline into provenance for free — no structure
+   needed changing to gain allocation-site attribution. *)
+let site_of_name name =
+  let upto =
+    match String.index_opt name ':' with
+    | Some i -> i
+    | None -> String.length name
+  in
+  let upto =
+    match String.index_opt name '[' with
+    | Some i when i < upto -> i
+    | _ -> upto
+  in
+  if upto = String.length name then name else String.sub name 0 upto
+
+(* Everything the space observer needs about one allocation, captured at
+   the [new_line] call: where ([al_heap], [al_site]), which line
+   ([al_id] is the per-heap allocation index — names recur, ids don't),
+   and when/by whom ([al_time] virtual ns, [al_tid]; both 0 outside a
+   simulation, e.g. for structure-creation allocations). *)
+type alloc_info = {
+  al_heap : string;
+  al_id : int;
+  al_line : string;
+  al_site : string;
+  al_tid : int;
+  al_time : float;
+}
+
 (* One simulated machine's mutable persistency state, explicitly owned:
    the per-thread write-pending queues (the store buffer), the acceptance
    deadlines, and the two observability hooks.  An instance belongs to
@@ -116,6 +150,11 @@ type instance = {
      and metrics instead of stealing their hooks. *)
   mutable iforensics : (trace_event -> unit) option;
   mutable iwb_obs : (int -> string -> string -> wb_fate -> unit) option;
+  (* Fourth observer, for persistent-space accounting (Harness.Space):
+     fires once per [new_line] with the allocation's provenance.  Kept
+     off the [observing] fast path — allocation is not a memory access —
+     so the disabled cost is one physical-equality check per alloc. *)
+  mutable ialloc : (alloc_info -> unit) option;
   (* Crash log, newest first; cleared by [reset_pending]. *)
   mutable icrashes : crash_report list;
 }
@@ -128,6 +167,7 @@ let create_instance () =
     icollector = None;
     iforensics = None;
     iwb_obs = None;
+    ialloc = None;
     icrashes = [];
   }
 
@@ -177,6 +217,7 @@ let set_forensics f =
   inst.iforensics <- f
 
 let set_wb_observer f = (instance ()).iwb_obs <- f
+let set_alloc_observer f = (instance ()).ialloc <- f
 let crash_reports () = List.rev (instance ()).icrashes
 
 let observing inst =
@@ -196,6 +237,8 @@ let reset_pending () =
 type line = {
   lheap : heap;
   lname : string;
+  lid : int;  (* per-heap allocation index (1-based); names recur, ids don't *)
+  lsite : string;  (* allocation site derived from the name (site_of_name) *)
   mutable sharers : int;  (* bitmap of tids with a cached copy *)
   mutable owner : int;  (* tid that last took write ownership *)
   mutable wb_owner : int;  (* tid with an in-flight write-back; -1 = none *)
@@ -220,6 +263,7 @@ let heap ?(track_for_crash = true) ?(name = "heap") () =
   { hname = name; track = track_for_crash; resets = []; metas = []; n_lines = 0 }
 
 let lines_allocated h = h.n_lines
+let heap_name h = h.hname
 
 let new_line ?(name = "line") h =
   h.n_lines <- h.n_lines + 1;
@@ -227,6 +271,8 @@ let new_line ?(name = "line") h =
     {
       lheap = h;
       lname = name;
+      lid = h.n_lines;
+      lsite = site_of_name name;
       sharers = 0;
       owner = -1;
       wb_owner = -1;
@@ -243,10 +289,28 @@ let new_line ?(name = "line") h =
         line.wb_until <- neg_infinity)
       :: h.metas;
   let ht = hot () in
+  let inst = ht.hinst in
+  (match inst.ialloc with
+  | None -> ()
+  | Some obs ->
+      obs
+        {
+          al_heap = h.hname;
+          al_id = line.lid;
+          al_line = name;
+          al_site = line.lsite;
+          al_tid = Sim.h_tid ht.hsim;
+          al_time = Sim.h_now ht.hsim;
+        });
+  if observing inst then
+    notify inst
+      (Alloc { tid = Sim.h_tid ht.hsim; heap = h.hname; line = name; site = line.lsite });
   Sim.h_step ht.hsim ht.hcost.alloc;
   line
 
 let line_name l = l.lname
+let line_id l = l.lid
+let line_site l = l.lsite
 
 let on_line line v =
   let fld = { line; v; durable = Never; poisoned = false } in

@@ -40,6 +40,10 @@ type trace_event =
           paired with the issuing persist [site]. *)
   | Pfence of { tid : int; site : string }
   | Psync of { tid : int; site : string }
+  | Alloc of { tid : int; heap : string; line : string; site : string }
+      (** A fresh cache line was allocated ({!new_line}/{!alloc}): owning
+          heap, line name, and the allocation site derived from the name
+          ({!site_of_name}). *)
 
 type wb_fate = Drained | Crash_persisted | Crash_dropped
 (** What finally happened to an issued write-back: [Drained] — completed
@@ -69,6 +73,28 @@ val set_wb_observer : (int -> string -> string -> wb_fate -> unit) option -> uni
     write-back when it is completed by a drain or resolved at a crash.
     Zero cost when unset (one physical-equality check per drained
     entry). *)
+
+type alloc_info = {
+  al_heap : string;  (** owning heap's name *)
+  al_id : int;  (** per-heap allocation index (1-based); unique where names recur *)
+  al_line : string;  (** line name *)
+  al_site : string;  (** allocation site, {!site_of_name} of the name *)
+  al_tid : int;  (** allocating thread; 0 outside a simulation *)
+  al_time : float;  (** virtual ns at allocation; 0 outside a simulation *)
+}
+(** Provenance of one cache-line allocation, as seen by the space
+    observer. *)
+
+val set_alloc_observer : (alloc_info -> unit) option -> unit
+(** Fourth, independent observability hook (see [Harness.Space]): fires
+    once per {!new_line} / {!alloc} with the allocation's provenance.
+    Zero cost when unset (one physical-equality check per allocation);
+    composes with tracer/collector/forensics. *)
+
+val site_of_name : string -> string
+(** Allocation site encoded in a line name: the prefix before the
+    [":key"] suffix or ["[index]"] subscript — ["node:5"] → ["node"],
+    ["rom.ann(3)"]-style ["rom.ann[3]"] → ["rom.ann"]. *)
 
 (** {1 Crash forensics} *)
 
@@ -183,6 +209,10 @@ val crash :
     per-heap). *)
 
 val lines_allocated : heap -> int
+(** Occupancy counter: cache lines ever allocated from this heap (the
+    simulated NVM never frees, so this is also current occupancy). *)
+
+val heap_name : heap -> string
 
 (** {1 Lines and fields} *)
 
@@ -192,6 +222,14 @@ val new_line : ?name:string -> heap -> line
 (** Allocate a fresh cache line (charged {!Cost.t.alloc}). *)
 
 val line_name : line -> string
+
+val line_id : line -> int
+(** Per-heap allocation index (1-based): line names recur (two nodes for
+    key 5 are both ["node:5"]), ids never do, so [(heap, id)] identifies
+    an allocation exactly — the key of the space registry. *)
+
+val line_site : line -> string
+(** {!site_of_name} of the line's name, computed once at allocation. *)
 
 type 'a t
 (** A field of type ['a] residing on some line. *)

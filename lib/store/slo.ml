@@ -16,6 +16,7 @@ type shard_stat = {
   ss_retried : int;
   ss_recovered : int;
   ss_max_queue : int;
+  ss_heap_lines : int;  (* occupancy of this shard's heap, in cache lines *)
   ss_recovery_ns : float list;  (* per crash, oldest first *)
 }
 
@@ -112,6 +113,7 @@ let build ?window_ns ~total ~divergences ~requests ~(shards : Shard.t array)
              ss_retried = s.Shard.retried;
              ss_recovered = s.Shard.recovered;
              ss_max_queue = s.Shard.max_queue;
+             ss_heap_lines = Pmem.lines_allocated s.Shard.heap;
              ss_recovery_ns =
                List.rev_map (fun (t0, t1) -> t1 -. t0) s.Shard.recoveries;
            })
@@ -281,9 +283,9 @@ let pp ppf r =
     (fun s ->
       Format.fprintf ppf
         "  shard %d: served %d  crashes %d  retried %d  recovered %d  \
-         max-queue %d%s@."
+         max-queue %d  heap %d lines%s@."
         s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
-        s.ss_max_queue
+        s.ss_max_queue s.ss_heap_lines
         (match s.ss_recovery_ns with
         | [] -> ""
         | ds ->
@@ -319,9 +321,9 @@ let to_json r =
     (fun i s ->
       if i > 0 then f ",";
       f
-        "{\"sid\":%d,\"served\":%d,\"crashes\":%d,\"retried\":%d,\"recovered\":%d,\"max_queue\":%d,\"recovery_ns\":[%s]}"
+        "{\"sid\":%d,\"served\":%d,\"crashes\":%d,\"retried\":%d,\"recovered\":%d,\"max_queue\":%d,\"heap_lines\":%d,\"recovery_ns\":[%s]}"
         s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
-        s.ss_max_queue
+        s.ss_max_queue s.ss_heap_lines
         (String.concat ","
            (List.map (fun d -> Printf.sprintf "%.1f" d) s.ss_recovery_ns)))
     r.shards;

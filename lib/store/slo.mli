@@ -15,6 +15,7 @@ type shard_stat = {
   ss_retried : int;  (** backlog requeued by this shard's crashes *)
   ss_recovered : int;  (** in-flight requests resolved via [recover] *)
   ss_max_queue : int;
+  ss_heap_lines : int;  (** cache lines allocated on this shard's heap *)
   ss_recovery_ns : float list;  (** per crash, oldest first *)
 }
 

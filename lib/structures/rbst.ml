@@ -314,6 +314,41 @@ module Make (K : KEY) = struct
     in
     if t.root.ikey <> Inf2 then err "root sentinel key corrupted"
     else go None None (Node t.root)
+
+  (* Reachable lines for the space sweep: leaves carry the keys (sentinel
+     leaves none), internals are key-less payload structure, descriptors
+     referenced by reachable info fields or RD cells are metadata.
+     Displaced leaves and unlinked internals are garbage by omission. *)
+  let space t =
+    let acc = ref [] in
+    let push line cls = acc := (line, cls) :: !acc in
+    let desc_of_info = function
+      | Desc.Clean -> ()
+      | Desc.Tagged d | Desc.Untagged d ->
+          push (Desc.line d) (`Meta "descriptor")
+    in
+    let rec walk = function
+      | Leaf lf ->
+          push lf.lline
+            (match Pmem.peek lf.lkey with
+            | BK k -> `Payload [ k ]
+            | Inf1 | Inf2 -> `Payload [])
+      | Node q ->
+          push q.iline (`Payload []);
+          desc_of_info (Pmem.peek q.info);
+          walk (Pmem.peek q.left);
+          walk (Pmem.peek q.right)
+    in
+    walk (Node t.root);
+    Array.iter
+      (fun (h : internal Tracking.handle) ->
+        push (Pmem.line_of h.Tracking.cp) (`Meta "checkpoint");
+        push (Pmem.line_of h.Tracking.rd) (`Meta "announce");
+        match Pmem.peek h.Tracking.rd with
+        | None -> ()
+        | Some d -> push (Desc.line d) (`Meta "descriptor"))
+      t.handles;
+    List.rev !acc
 end
 
 module Int_key = struct

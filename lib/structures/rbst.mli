@@ -48,6 +48,13 @@ module Make (K : KEY) : sig
 
   val size : t -> int
   (** Number of keys (excluding sentinels). *)
+
+  val space : t -> (Pmem.line * [ `Payload of K.t list | `Meta of string ]) list
+  (** Persistent-space enumeration ([Harness.Space]): every line reachable
+      from the root, classified as payload (leaves carry their key,
+      internals and sentinel leaves none) or detectability metadata
+      (["checkpoint"], ["announce"], ["descriptor"]).  Displaced leaves
+      and unlinked internals are garbage by omission. *)
 end
 
 module Int_key : KEY with type t = int

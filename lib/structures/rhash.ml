@@ -75,6 +75,11 @@ module Make (K : KEY) = struct
             placed (L.to_list t.buckets.(i))
     in
     go 0
+
+  (* Union of the buckets' enumerations — each bucket is a full rlist
+     with its own sentinels and per-thread handles on the shared heap. *)
+  let space t =
+    Array.to_list t.buckets |> List.concat_map L.space
 end
 
 module Int = Make (struct

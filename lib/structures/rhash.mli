@@ -38,6 +38,10 @@ module Make (K : KEY) : sig
 
   val cardinal : t -> int
   val check_invariants : t -> (unit, string) result
+
+  val space : t -> (Pmem.line * [ `Payload of K.t list | `Meta of string ]) list
+  (** Persistent-space enumeration: union of the buckets' [Rlist.space]
+      enumerations. *)
 end
 
 module Int : module type of Make (struct

@@ -277,6 +277,37 @@ module Make (K : KEY) = struct
     match Pmem.peek t.head.next with
     | None -> err "head sentinel has no successor"
     | Some first -> go t.head first
+
+  (* Every cache line reachable from the structure's persistent roots,
+     classified for the space sweep: [`Payload keys] for lines holding
+     abstract-set state (sentinels carry no key), [`Meta kind] for
+     detectability metadata.  Unlinked nodes and retired descriptors are
+     deliberately absent — the sweep counts them as garbage. *)
+  let space t =
+    let acc = ref [] in
+    let push line cls = acc := (line, cls) :: !acc in
+    let desc_of_info = function
+      | Desc.Clean -> ()
+      | Desc.Tagged d | Desc.Untagged d ->
+          push (Desc.line d) (`Meta "descriptor")
+    in
+    let rec walk nd =
+      (match nd.key with
+      | Key k -> push nd.line (`Payload [ k ])
+      | Neg_inf | Pos_inf -> push nd.line (`Payload []));
+      desc_of_info (Pmem.peek nd.info);
+      match Pmem.peek nd.next with None -> () | Some next -> walk next
+    in
+    walk t.head;
+    Array.iter
+      (fun (h : node Tracking.handle) ->
+        push (Pmem.line_of h.Tracking.cp) (`Meta "checkpoint");
+        push (Pmem.line_of h.Tracking.rd) (`Meta "announce");
+        match Pmem.peek h.Tracking.rd with
+        | None -> ()
+        | Some d -> push (Desc.line d) (`Meta "descriptor"))
+      t.handles;
+    List.rev !acc
 end
 
 module Int_key = struct

@@ -63,6 +63,14 @@ module Make (K : KEY) : sig
       state (all operations completed or recovered). *)
 
   val length : t -> int
+
+  val space : t -> (Pmem.line * [ `Payload of K.t list | `Meta of string ]) list
+  (** Persistent-space enumeration ([Harness.Space]): every cache line
+      reachable from the structure's roots, classified as payload (with
+      the keys it holds; sentinels hold none) or detectability metadata
+      (["checkpoint"] = CP cells, ["announce"] = RD cells,
+      ["descriptor"]).  Lines the structure allocated but no longer
+      reaches are garbage by omission. *)
 end
 
 module Int_key : KEY with type t = int

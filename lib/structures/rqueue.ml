@@ -196,3 +196,32 @@ let check_invariants ?(expect_untagged = true) t =
       match Pmem.peek nd.next with None -> Ok () | Some next -> go (n + 1) next
   in
   go 0 (Pmem.peek t.head)
+
+(* Space-sweep enumeration: the head/tail root cells and the dummy carry
+   no abstract state, each reachable value node carries its value.
+   Retired dummies (left behind by dequeues) are garbage by omission. *)
+let space t =
+  let acc = ref [] in
+  let push line cls = acc := (line, cls) :: !acc in
+  let desc_of_info = function
+    | Desc.Clean -> ()
+    | Desc.Tagged d | Desc.Untagged d -> push (Desc.line d) (`Meta "descriptor")
+  in
+  push (Pmem.line_of t.head) (`Payload []);
+  push (Pmem.line_of t.tail_hint) (`Payload []);
+  let rec walk nd =
+    push nd.line
+      (match nd.value with Some v -> `Payload [ v ] | None -> `Payload []);
+    desc_of_info (Pmem.peek nd.info);
+    match Pmem.peek nd.next with None -> () | Some next -> walk next
+  in
+  walk (Pmem.peek t.head);
+  Array.iter
+    (fun h ->
+      push (Pmem.line_of h.Tracking.cp) (`Meta "checkpoint");
+      push (Pmem.line_of h.Tracking.rd) (`Meta "announce");
+      match Pmem.peek h.Tracking.rd with
+      | None -> ()
+      | Some d -> push (Desc.line d) (`Meta "descriptor"))
+    t.handles;
+  List.rev !acc

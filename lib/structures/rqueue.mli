@@ -49,3 +49,9 @@ val to_list : 'a t -> 'a list
 val length : 'a t -> int
 
 val check_invariants : ?expect_untagged:bool -> 'a t -> (unit, string) result
+
+val space : 'a t -> (Pmem.line * [ `Payload of 'a list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): reachable lines
+    classified as payload (value nodes carry their value; roots and the
+    dummy carry none) or detectability metadata.  Retired dummies are
+    garbage by omission. *)

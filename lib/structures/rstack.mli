@@ -35,3 +35,9 @@ val dump : 'a t -> string
 (** One-line rendering of the chain with tag states (debugging aid). *)
 
 val check_invariants : ?expect_untagged:bool -> 'a t -> (unit, string) result
+
+val space : 'a t -> (Pmem.line * [ `Payload of 'a list | `Meta of string ]) list
+(** Persistent-space enumeration ([Harness.Space]): reachable lines
+    classified as payload (chain nodes carry their value; the top root
+    and the sentinel carry none) or detectability metadata.  Popped nodes
+    are garbage by omission. *)

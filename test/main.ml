@@ -25,6 +25,7 @@ let () =
       ("forensics", Test_forensics.suite);
       ("crash-sweeps", Test_crash_sweeps.suite);
       ("ablations", Test_ablations.suite);
+      ("space", Test_space.suite);
       ("store", Test_store.suite);
       ("parallel", Test_parallel.suite);
     ]
