@@ -1,7 +1,7 @@
 # Tier-1 verification: everything CI runs.
-.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke clean figures
+.PHONY: check build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke elastic-smoke clean figures
 
-check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke
+check: build test explore-smoke metrics-smoke causal-smoke serve-smoke parbench-smoke memento-smoke forensics-smoke space-smoke elastic-smoke
 
 build:
 	dune build
@@ -117,6 +117,29 @@ space-smoke:
 	  | grep -v '^wrote ' > _build/space-j4.txt
 	cmp _build/space-j1.txt _build/space-j4.txt
 	cmp _build/space-j1.json _build/space-j4.json
+
+# Elastic-store smoke: (1) a live shard split completes under traffic
+# and passes the balance gate; (2) a crashed primary fails over to its
+# replica with zero lost requests; (3) correlated power loss of BOTH
+# migration endpoints — source write-backs dropped, destination's all
+# applied — still converges; (4) the crash-point sweep over a migrating
+# store proves every key lands in exactly one shard at every crash
+# point, and the negative control with the handoff-commit pwb elided is
+# caught by the same sweep (nonzero exit).
+elastic-smoke:
+	dune exec bin/repro.exe -- serve -a tracking --shards 2 --clients 2 \
+	  --ops 40 --keys 32 --migrate 0 --migrate-after 10 --check --check-balance 64
+	dune exec bin/repro.exe -- serve -a tracking --shards 2 --clients 2 \
+	  --ops 40 --keys 32 --replicate --crash-shard 0 --crash-after 20 --check
+	dune exec bin/repro.exe -- serve -a tracking --shards 2 --clients 4 \
+	  --ops 40 --keys 32 --migrate 0 --migrate-after 5 --crash-both 0,2 \
+	  --crash-dispatch 12 --wb drop --wb2 all --check
+	dune exec bin/repro.exe -- serve -a tracking --shards 2 --clients 2 \
+	  --ops 16 --keys 16 --migrate 0 --migrate-after 3 --explore \
+	  --dispatch-budget 200 -j 2
+	! dune exec bin/repro.exe -- serve -a tracking --shards 2 --clients 2 \
+	  --ops 16 --keys 16 --migrate 0 --migrate-after 3 --broken-handoff \
+	  --explore --dispatch-budget 200 -j 2 > /dev/null 2>&1
 
 clean:
 	dune clean

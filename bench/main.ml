@@ -478,6 +478,34 @@ let wallclock_store ~jobs () =
   | Ok st -> Printf.sprintf "%d execs" st.Store.ex_executions
   | Error msg -> failwith ("wallclock store: " ^ msg)
 
+(* Serve-with-migration sweep: the elastic store's crash-point
+   exploration over a live 2-shard split — source, destination and the
+   correlated both-endpoints campaign, every point re-proving the
+   every-key-in-exactly-one-shard invariant. *)
+let wallclock_migrate ~jobs () =
+  let cfg =
+    {
+      (Store.default_config Set_intf.tracking) with
+      Store.shards = 2;
+      clients = 2;
+      ops_per_client = 16;
+      workload =
+        {
+          Workload.(default update_intensive) with
+          key_range = 16;
+          prefill_n = 8;
+        };
+      migrate = Some { Store.msrc = 0; m_after = 3; m_broken = false };
+      seed = 1;
+    }
+  in
+  match Store.explore ~dispatch_budget:100 ~jobs cfg with
+  | Ok st ->
+      if st.Store.ex_failures > 0 then
+        failwith "wallclock migrate: sweep found failures"
+      else Printf.sprintf "%d execs" st.Store.ex_executions
+  | Error msg -> failwith ("wallclock migrate: " ^ msg)
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let note = f () in
@@ -522,15 +550,18 @@ let run_wallclock ~jobs_list ~out =
       Printf.printf "    causal:  %7.3f s (%s)\n%!" causal_s causal_note;
       let store_s, store_note = timed (wallclock_store ~jobs) in
       Printf.printf "    store:   %7.3f s (%s)\n%!" store_s store_note;
-      let total = explore_s +. causal_s +. store_s in
+      let migrate_s, migrate_note = timed (wallclock_migrate ~jobs) in
+      Printf.printf "    migrate: %7.3f s (%s)\n%!" migrate_s migrate_note;
+      let total = explore_s +. causal_s +. store_s +. migrate_s in
       Printf.printf "    total:   %7.3f s\n%!" total;
       let entry =
         Printf.sprintf
           "  {\"date\": \"%s\", \"cores\": %d, \"ocaml\": \"%s\", \"jobs\": \
            %d,\n\
            \   \"explore_s\": %.3f, \"causal_s\": %.3f, \"store_s\": %.3f, \
-           \"total_s\": %.3f}"
-          date cores Sys.ocaml_version jobs explore_s causal_s store_s total
+           \"migrate_s\": %.3f, \"total_s\": %.3f}"
+          date cores Sys.ocaml_version jobs explore_s causal_s store_s
+          migrate_s total
       in
       append_json_entry out entry;
       Printf.printf "    appended to %s\n%!" out)

@@ -1119,6 +1119,33 @@ let serve_cmd =
             "Inject the crash once $(docv) requests completed store-wide \
              (default: a third of the total).")
   in
+  let crash_both =
+    Arg.(
+      value
+      & opt (some (pair int int)) None
+      & info [ "crash-both" ] ~docv:"A,B"
+          ~doc:
+            "Correlated power loss: crash shards $(docv) together, each \
+             at its own --crash-dispatch'th dispatch, each heap's \
+             write-backs resolved independently (--wb / --wb2).")
+  in
+  let crash_cascade =
+    Arg.(
+      value
+      & opt (some (pair int int)) None
+      & info [ "crash-cascade" ] ~docv:"A,B"
+          ~doc:
+            "Cascade: crash shard A at its --crash-dispatch'th dispatch, \
+             then crash B while A is still recovering.")
+  in
+  let crash_dispatch =
+    Arg.(
+      value & opt int 8
+      & info [ "crash-dispatch" ] ~docv:"N"
+          ~doc:
+            "Server dispatch index at which --crash-both/--crash-cascade \
+             interrupts fire.")
+  in
   let wb =
     Arg.(
       value & opt wb_conv `Rng
@@ -1126,6 +1153,75 @@ let serve_cmd =
           ~doc:
             "Write-back resolution at the crash: rng | drop | all | \
              prefix:<k>.")
+  in
+  let wb2 =
+    Arg.(
+      value
+      & opt (some wb_conv) None
+      & info [ "wb2" ] ~docv:"RES"
+          ~doc:
+            "Write-back resolution of the second correlated-crash victim \
+             (default: same as --wb).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated per-shard structure names (length must equal \
+             --shards), e.g. tracking,rqueue-topic,tracking-cas.  Default: \
+             every shard uses the -a algorithm.")
+  in
+  let replicate =
+    Arg.(
+      value & flag
+      & info [ "replicate" ]
+          ~doc:
+            "Mirror every committed update to a per-shard replica heap; a \
+             crashed primary promotes its replica (failover) instead of \
+             restarting.")
+  in
+  let failover_ns =
+    Arg.(
+      value & opt float 500.
+      & info [ "failover-ns" ]
+          ~doc:"Virtual replica-promotion latency (with --replicate).")
+  in
+  let migrate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "migrate" ] ~docv:"SID"
+          ~doc:
+            "Live-split shard $(docv) mid-traffic: migrate half its key \
+             space to a new shard with detectable handoff.")
+  in
+  let migrate_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "migrate-after" ] ~docv:"N"
+          ~doc:
+            "Release the migration once $(docv) requests completed \
+             (default: a quarter of the total).")
+  in
+  let broken_handoff =
+    Arg.(
+      value & flag
+      & info [ "broken-handoff" ]
+          ~doc:
+            "Negative control: elide the migration's handoff-commit pwb — \
+             crash campaigns must catch the key lost from both shards.")
+  in
+  let check_balance =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "check-balance" ] ~docv:"R"
+          ~doc:
+            "With --check: also require the max/min per-shard resident \
+             key-count ratio across set-model shards to be at most $(docv).")
   in
   let restart_ns =
     Arg.(
@@ -1196,18 +1292,36 @@ let serve_cmd =
           ~doc:"Crash-point depth per victim explored by --explore.")
   in
   let run algo mix shards clients ops batch key_range skew open_loop
-      crash_shard crash_after wb restart_ns seed json csv check repro_file
-      replay trace explore dispatch_budget jobs =
+      crash_shard crash_after crash_both crash_cascade crash_dispatch wb wb2
+      backend replicate failover_ns migrate migrate_after broken_handoff
+      check_balance restart_ns seed json csv check repro_file replay trace
+      explore dispatch_budget jobs =
     match replay with
     | Some f -> serve_replay f
     | None -> (
         if
           algo.Set_intf.fname = "harris"
-          && (crash_shard <> None || explore)
+          && (crash_shard <> None || crash_both <> None
+             || crash_cascade <> None || explore || migrate <> None
+             || replicate)
         then begin
           Format.printf "harris is volatile: it cannot recover from crashes@.";
           exit 1
         end;
+        let backends =
+          match backend with
+          | None -> None
+          | Some csv ->
+              let names = String.split_on_char ',' csv in
+              let resolve name =
+                match Set_intf.by_name (String.trim name) with
+                | Ok f -> f
+                | Error msg ->
+                    Format.printf "bad --backend: %s@." msg;
+                    exit 2
+              in
+              Some (Array.of_list (List.map resolve names))
+        in
         let dist =
           match skew with
           | None -> Workload.Uniform
@@ -1219,17 +1333,43 @@ let serve_cmd =
         in
         let total = clients * ops in
         let crash =
-          match crash_shard with
-          | None -> None
-          | Some victim ->
+          match (crash_shard, crash_both, crash_cascade) with
+          | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+              Format.printf
+                "--crash-shard, --crash-both and --crash-cascade are \
+                 mutually exclusive@.";
+              exit 2
+          | Some victim, None, None ->
               let requests =
                 match crash_after with Some n -> n | None -> max 1 (total / 3)
               in
               Some (Store.After_requests { victim; requests })
+          | None, Some (a, b), None ->
+              Some (Store.Both_at_dispatch { a; b; dispatch = crash_dispatch })
+          | None, None, Some (first, second) ->
+              Some (Store.Cascade { first; second; dispatch = crash_dispatch })
+          | None, None, None -> None
+        in
+        let migrate =
+          match migrate with
+          | None ->
+              if broken_handoff then begin
+                Format.printf "--broken-handoff needs --migrate@.";
+                exit 2
+              end;
+              None
+          | Some msrc ->
+              let m_after =
+                match migrate_after with
+                | Some n -> n
+                | None -> max 1 (total / 4)
+              in
+              Some { Store.msrc; m_after; m_broken = broken_handoff }
         in
         let cfg =
           {
             Store.factory = algo;
+            backends;
             shards;
             clients;
             ops_per_client = ops;
@@ -1244,7 +1384,11 @@ let serve_cmd =
             open_loop_ns = open_loop;
             crash;
             wb;
+            wb2;
             restart_ns;
+            failover_ns;
+            replicate;
+            migrate;
             seed;
           }
         in
@@ -1263,11 +1407,11 @@ let serve_cmd =
               Format.printf
                 "store explore: %d executions, %d crashes fired, %d failures@."
                 st.Store.ex_executions st.Store.ex_fired st.Store.ex_failures;
-              Array.iteri
-                (fun sid d ->
+              Array.iter
+                (fun (label, d) ->
                   Format.printf
-                    "  shard %d: crash points explored through dispatch %d@."
-                    sid d)
+                    "  %s: crash points explored through dispatch %d@." label
+                    d)
                 st.Store.ex_max_dispatch;
               match st.Store.ex_first_failure with
               | None -> ()
@@ -1330,8 +1474,11 @@ let serve_cmd =
                       Out_channel.output_char oc '\n');
                   Format.printf "wrote %s@." p
               | None -> ());
-              if check then begin
-                match Slo.check ~crash_expected:(crash <> None) report with
+              if check || check_balance <> None then begin
+                match
+                  Slo.check ?balance_max:check_balance
+                    ~crash_expected:(crash <> None) report
+                with
                 | Ok () -> Format.printf "check OK@."
                 | Error msg ->
                     Format.printf "CHECK FAILED: %s@." msg;
@@ -1349,9 +1496,11 @@ let serve_cmd =
           quantiles, per-shard recovery durations and the degraded window.")
     Term.(
       const run $ algo $ mix $ shards $ clients $ ops $ batch $ key_range
-      $ skew $ open_loop $ crash_shard $ crash_after $ wb $ restart_ns $ seed
-      $ json $ csv $ check $ repro_file $ replay $ trace $ explore
-      $ dispatch_budget $ jobs_arg)
+      $ skew $ open_loop $ crash_shard $ crash_after $ crash_both
+      $ crash_cascade $ crash_dispatch $ wb $ wb2 $ backend $ replicate
+      $ failover_ns $ migrate $ migrate_after $ broken_handoff
+      $ check_balance $ restart_ns $ seed $ json $ csv $ check $ repro_file
+      $ replay $ trace $ explore $ dispatch_budget $ jobs_arg)
 
 (* -- classify ------------------------------------------------------------- *)
 

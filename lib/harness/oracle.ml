@@ -34,6 +34,58 @@ let tally_of_events events =
       IM.add k t m)
     IM.empty events
 
+(* FIFO topic model for queue-backed shards ([Set_intf.Queue_model]).
+   Unlike the set oracle this is order-SENSITIVE: it replays the event
+   sequence against a model queue.  That is sound for a store shard
+   because a single server fiber serializes every operation on the
+   backend, so completion order is execution order.  [Ins k] must
+   enqueue (always ok), [Del _] must report exactly whether the model
+   queue was non-empty and consumes its head, [Fnd k] must report
+   membership of the model queue at that point. *)
+let check_queue ~initial ~final events =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let q = Queue.create () in
+  List.iter (fun k -> Queue.push k q) initial;
+  let step acc (i, e) =
+    match acc with
+    | Error _ as err -> err
+    | Ok () -> (
+        match (e.eop, e.ok) with
+        | Set_intf.Ins k, ok ->
+            if not ok then err "event %d: enqueue(%d) reported failure" i k
+            else begin
+              Queue.push k q;
+              Ok ()
+            end
+        | Set_intf.Del _, ok ->
+            if Queue.is_empty q then
+              if ok then err "event %d: dequeue succeeded on an empty topic" i
+              else Ok ()
+            else if not ok then
+              err "event %d: dequeue failed with head %d available" i
+                (Queue.peek q)
+            else begin
+              ignore (Queue.pop q : int);
+              Ok ()
+            end
+        | Set_intf.Fnd k, ok ->
+            let mem = Queue.fold (fun m v -> m || v = k) false q in
+            if mem <> ok then
+              err "event %d: find(%d) returned %b but the topic %s it" i k ok
+                (if mem then "held" else "did not hold")
+            else Ok ())
+  in
+  let indexed = List.mapi (fun i e -> (i, e)) events in
+  match List.fold_left step (Ok ()) indexed with
+  | Error _ as e -> e
+  | Ok () ->
+      let model = List.of_seq (Queue.to_seq q) in
+      if model <> final then
+        err "final topic %s but the model predicts %s"
+          (String.concat "," (List.map string_of_int final))
+          (String.concat "," (List.map string_of_int model))
+      else Ok ()
+
 let check ~initial ~final events =
   let init = IS.of_list initial in
   let fin = IS.of_list final in

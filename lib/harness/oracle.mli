@@ -20,4 +20,14 @@ type event = { eop : Set_intf.op; ok : bool }
 val check :
   initial:int list -> final:int list -> event list -> (unit, string) result
 
+val check_queue :
+  initial:int list -> final:int list -> event list -> (unit, string) result
+(** FIFO topic model for queue-backed shards ([Set_intf.Queue_model]).
+    Order-sensitive: replays [events] (execution order, oldest first)
+    against a model queue seeded with [initial] (front first) — sound
+    when a single server serializes the backend, as store shards do.
+    [Ins k] must enqueue (ok), [Del _] must consume the head and report
+    exactly whether the topic was non-empty, [Fnd k] must report model
+    membership; the final model queue must equal [final]. *)
+
 val pp_event : Format.formatter -> event -> unit

@@ -1,6 +1,7 @@
 type op = Ins of int | Del of int | Fnd of int
 
 let op_key = function Ins k | Del k | Fnd k -> k
+let is_update = function Ins _ | Del _ -> true | Fnd _ -> false
 
 let pp_op ppf = function
   | Ins k -> Format.fprintf ppf "insert(%d)" k
@@ -25,8 +26,16 @@ let op_only name recover_op = function
         (name ^ ": foreign pending token (this framework expects its own \
                  note_begin token)")
 
+(* What the structure's operations mean, which decides the oracle a shard
+   backend is checked against: [`Set] for per-key membership semantics
+   (Oracle.check), [`Queue] for FIFO topic semantics where [Ins k]
+   enqueues, [Del _] consumes the head and [Fnd k] scans for membership
+   (Oracle.check_queue). *)
+type model = Set_model | Queue_model
+
 type t = {
   name : string;
+  model : model;
   insert : int -> bool;
   delete : int -> bool;
   find : int -> bool;
@@ -67,6 +76,7 @@ let tracking =
           contents = (fun () -> L.to_list l);
           space = (fun () -> L.space l);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -94,6 +104,7 @@ let tracking_bst =
           contents = (fun () -> T.to_list t);
           space = (fun () -> T.space t);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -123,6 +134,7 @@ let tracking_no_ro_opt =
           contents = (fun () -> L.to_list l);
           space = (fun () -> L.space l);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -159,6 +171,7 @@ let tracking_broken =
           contents = (fun () -> L.to_list l);
           space = (fun () -> L.space l);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -186,6 +199,7 @@ let tracking_hash =
           contents = (fun () -> List.sort compare (H.to_list h));
           space = (fun () -> H.space h);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -212,6 +226,7 @@ let capsules_factory name variant =
           contents = (fun () -> Capsules.to_list c);
           space = (fun () -> Capsules.space c);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -241,6 +256,7 @@ let romulus =
           contents = (fun () -> Romulus.to_list r);
           space = (fun () -> Romulus.space r);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -267,6 +283,7 @@ let redo =
           contents = (fun () -> Redo.to_list r);
           space = (fun () -> Redo.space r);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -289,6 +306,7 @@ let harris_volatile =
           contents = (fun () -> Harris.to_list l);
           space = (fun () -> Harris.space l);
           supports_crash = false;
+          model = Set_model;
         });
   }
 
@@ -336,6 +354,7 @@ let memento_list_factory fname ~prefix ~disable_site =
           contents = (fun () -> L.to_list l);
           space = (fun () -> L.space l);
           supports_crash = true;
+          model = Set_model;
         });
   }
 
@@ -382,6 +401,60 @@ let memento_comb =
           contents = (fun () -> C.to_list c);
           space = (fun () -> C.space c);
           supports_crash = true;
+          model = Set_model;
+        });
+  }
+
+(* ---- queue-backed topic backend (elastic store, part c) ---------------- *)
+
+(* The recoverable Michael–Scott queue serving as a store shard: the
+   shard becomes a FIFO topic partition.  [Ins k] publishes (enqueue,
+   always succeeds), [Del _] consumes the head ([true] iff the topic was
+   non-empty), [Fnd k] is a volatile membership scan.  Checked against
+   the order-sensitive {!Oracle.check_queue} model — sound because a
+   shard's single server fiber serializes the topic's operations. *)
+let tracking_topic =
+  {
+    fname = "tracking-topic";
+    make =
+      (fun heap ~threads ->
+        let q : int Rqueue.t = Rqueue.create ~prefix:"rtopic" heap ~threads in
+        let conv = function
+          | Ins k -> Rqueue.Enqueue k
+          | Del _ -> Rqueue.Dequeue
+          | Fnd _ -> invalid_arg "tracking-topic: find has no queue pending"
+        in
+        let run op =
+          match op with
+          | Fnd k -> List.mem k (Rqueue.to_list q)
+          | Ins _ | Del _ -> (
+              match Rqueue.apply q (conv op) with
+              | Some _ -> true  (* dequeue consumed a value *)
+              | None -> (
+                  match op with
+                  | Ins _ -> true  (* enqueues always succeed *)
+                  | _ -> false  (* dequeue of an empty topic *)))
+        in
+        {
+          name = "tracking-topic";
+          model = Queue_model;
+          insert = (fun k -> run (Ins k));
+          delete = (fun k -> run (Del k));
+          find = (fun k -> run (Fnd k));
+          note_begin = (fun op -> Op op);
+          recover =
+            op_only "tracking-topic" (fun op ->
+                match op with
+                | Fnd k -> List.mem k (Rqueue.to_list q)
+                | Ins k -> (
+                    match Rqueue.recover q (Rqueue.Enqueue k) with
+                    | _ -> true)
+                | Del _ -> Rqueue.recover q Rqueue.Dequeue <> None);
+          recover_structure = (fun () -> ());
+          check = (fun () -> Rqueue.check_invariants q);
+          contents = (fun () -> Rqueue.to_list q);
+          space = (fun () -> Rqueue.space q);
+          supports_crash = true;
         });
   }
 
@@ -396,6 +469,7 @@ let all =
     tracking_bst;
     tracking_no_ro_opt;
     tracking_hash;
+    tracking_topic;
     tracking_broken;
     memento_list;
     memento_comb;

@@ -7,6 +7,10 @@
 type op = Ins of int | Del of int | Fnd of int
 
 val op_key : op -> int
+
+val is_update : op -> bool
+(** [true] for [Ins]/[Del] (state-changing), [false] for [Fnd]. *)
+
 val pp_op : Format.formatter -> op -> unit
 
 (** The framework-specific durable pending token.  The harness plays the
@@ -21,9 +25,17 @@ type pending = ..
 type pending += Op of op
 type pending += Mmt of { mop : op; mseq : int }
 
+(** What the structure's operations mean, which decides the oracle a
+    store shard backed by it is checked against: [Set_model] is per-key
+    membership ({!Oracle.check}); [Queue_model] is FIFO topic semantics —
+    [Ins k] enqueues, [Del _] consumes the head, [Fnd k] scans for
+    membership ({!Oracle.check_queue}). *)
+type model = Set_model | Queue_model
+
 (** One live instance, closed over its heap and thread count. *)
 type t = {
   name : string;
+  model : model;
   insert : int -> bool;
   delete : int -> bool;
   find : int -> bool;
@@ -61,6 +73,12 @@ val tracking_no_ro_opt : factory
 
 val tracking_hash : factory
 (** Hash map composed of per-bucket Tracking lists (extension). *)
+
+val tracking_topic : factory
+(** The recoverable Michael–Scott queue ({!Structures.Rqueue}) as a
+    FIFO topic-partition shard backend ([Queue_model]): [Ins k]
+    publishes, [Del _] consumes the head, [Fnd k] is a membership scan.
+    Built for the elastic store's multi-structure backends. *)
 
 val tracking_broken : factory
 (** Negative control: Tracking's list with the new-node pwb elided, so

@@ -1,0 +1,101 @@
+(* Per-shard replication: a second structure instance on its own heap
+   that mirrors the primary's committed effects, so a crashed primary
+   can PROMOTE instead of pausing.
+
+   Protocol (driven by the shard's server fiber, see Shard):
+
+   - mirror: after a client mutation commits on the primary, the same
+     operation is applied to the replica — behind its own [note_begin]
+     token, so a crash mid-mirror is detectably recoverable.  A single
+     server fiber serializes both applications, so between requests the
+     replica's logical state equals the primary's.
+   - failover: when the primary's heap crashes while the replica is
+     [ready], the shard swaps the replica in as the new primary after a
+     short [failover_ns] (no restart, no structure repair — the replica
+     heap never crashed) and resolves the in-flight request on it.
+   - re-sync: promotion consumes the replica, so the shard immediately
+     starts rebuilding redundancy on a fresh heap: a background copy of
+     the new primary's keys, interleaved with serving.  New mutations
+     are mirrored to the half-built replica as they commit and their
+     keys marked dirty so the copy skips them (a stale copy would
+     otherwise resurrect a key the client deleted mid-sync).  When the
+     backlog drains, the replica is [ready] again and a second crash
+     fails over again; a crash before that falls back to the classic
+     restart + detectable-recovery path on the primary heap. *)
+
+type t = {
+  factory : Set_intf.factory;
+  threads : int;
+  owner_sid : int;
+  mutable heap : Pmem.heap;
+  mutable algo : Set_intf.t;
+  mutable ready : bool;
+  dirty : (int, unit) Hashtbl.t;  (* keys mutated since re-sync start *)
+  mutable backlog : int list;  (* keys still to copy during re-sync *)
+  mutable generation : int;  (* bumped per fresh replica heap *)
+  mutable promotions : int;
+  mutable failovers : (float * float) list;  (* (crash_ns, promoted_ns), newest first *)
+  mutable resyncs : (float * float) list;  (* completed (start_ns, end_ns), newest first *)
+  mutable resync_started : float option;
+  mutable mismatches : int;  (* mirror result disagreed while ready *)
+}
+
+let heap_name factory ~sid ~generation =
+  Printf.sprintf "%s-shard%d-replica-g%d" factory.Set_intf.fname sid generation
+
+let create factory ~threads ~sid =
+  let heap = Pmem.heap ~name:(heap_name factory ~sid ~generation:0) () in
+  {
+    factory;
+    threads;
+    owner_sid = sid;
+    heap;
+    algo = factory.Set_intf.make heap ~threads;
+    ready = true;
+    dirty = Hashtbl.create 64;
+    backlog = [];
+    generation = 0;
+    promotions = 0;
+    failovers = [];
+    resyncs = [];
+    resync_started = None;
+    mismatches = 0;
+  }
+
+(* Mirror one committed mutation.  Returns the note_begin token first so
+   the caller (Shard) can park it in its inflight slot before the apply —
+   that is what makes a crash mid-mirror recoverable. *)
+let note_mirror t op = t.algo.Set_intf.note_begin op
+
+let apply_mirror t op =
+  let ok = Set_intf.apply t.algo op in
+  if not t.ready then Hashtbl.replace t.dirty (Set_intf.op_key op) ();
+  ok
+
+let record_mismatch t = t.mismatches <- t.mismatches + 1
+
+(* Promotion: the caller takes [heap]/[algo] as the new primary; the
+   replica restarts life unready with a fresh heap and the snapshot of
+   keys to copy back. *)
+let begin_resync t ~snapshot =
+  t.generation <- t.generation + 1;
+  let heap =
+    Pmem.heap
+      ~name:(heap_name t.factory ~sid:t.owner_sid ~generation:t.generation)
+      ()
+  in
+  t.heap <- heap;
+  t.algo <- t.factory.Set_intf.make heap ~threads:t.threads;
+  t.ready <- false;
+  Hashtbl.reset t.dirty;
+  t.backlog <- snapshot;
+  t.resync_started <- Some (Sim.now ())
+
+let finish_resync t =
+  t.ready <- true;
+  (match t.resync_started with
+  | Some t0 -> t.resyncs <- (t0, Sim.now ()) :: t.resyncs
+  | None -> ());
+  t.resync_started <- None
+
+let skip_copy t k = Hashtbl.mem t.dirty k

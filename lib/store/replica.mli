@@ -1,0 +1,55 @@
+(** Per-shard replication: a mirror structure on its own heap, so a
+    crashed primary {e promotes} instead of pausing (see the protocol
+    narrative in the implementation).  The replica is passive — the
+    owning shard's server fiber drives mirroring, promotion and the
+    background re-sync; this module only keeps the replica's state. *)
+
+type t = {
+  factory : Set_intf.factory;
+  threads : int;
+  owner_sid : int;
+  mutable heap : Pmem.heap;
+  mutable algo : Set_intf.t;
+  mutable ready : bool;
+      (** the replica mirrors the primary exactly — safe to promote *)
+  dirty : (int, unit) Hashtbl.t;
+      (** keys mutated since re-sync start; the copy skips them *)
+  mutable backlog : int list;  (** keys still to copy during re-sync *)
+  mutable generation : int;
+  mutable promotions : int;
+  mutable failovers : (float * float) list;
+      (** (crash_ns, promoted_ns), newest first *)
+  mutable resyncs : (float * float) list;
+      (** completed re-syncs as (start_ns, end_ns), newest first *)
+  mutable resync_started : float option;
+  mutable mismatches : int;
+      (** mirror applications whose result disagreed with the primary's
+          while the replica was ready — must stay 0 *)
+}
+
+val create : Set_intf.factory -> threads:int -> sid:int -> t
+(** A ready replica on a fresh heap named
+    ["<algo>-shard<sid>-replica-g0"].  The caller must bring it in sync
+    (the store prefills primary and replica identically). *)
+
+val note_mirror : t -> Set_intf.op -> Set_intf.pending
+(** The replica's durable pending token for a mirror application; park
+    it in the shard's inflight slot {e before} {!apply_mirror} so a
+    crash mid-mirror is detectably recoverable. *)
+
+val apply_mirror : t -> Set_intf.op -> bool
+(** Apply one committed mutation to the replica; marks the key dirty
+    while a re-sync is running. *)
+
+val record_mismatch : t -> unit
+
+val begin_resync : t -> snapshot:int list -> unit
+(** After promotion: restart the replica unready on a fresh heap
+    (generation bumped) with [snapshot] — the new primary's keys — as
+    the copy backlog. *)
+
+val finish_resync : t -> unit
+(** Backlog drained: mark ready and record the re-sync window. *)
+
+val skip_copy : t -> int -> bool
+(** Should the re-sync copy skip this key (mutated since sync start)? *)

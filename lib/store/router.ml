@@ -1,11 +1,23 @@
-(* Deterministic key-to-shard routing.
+(* Deterministic key-to-shard routing, plus the versioned two-phase
+   routing table that keeps every key addressable while a shard split
+   migrates keys between heaps.
 
-   A SplitMix64-style finalizer scrambles the key before the modulo so
-   that contiguous key ranges (and the power-law hot set of
-   [Workload.Skewed], whose hottest keys are the lowest indices) spread
-   across shards instead of piling onto shard 0.  Stateless and
-   allocation-free, so routing is bit-identical across runs, replays and
-   processes — a recorded serve schedule stays meaningful. *)
+   The placement primitive is a SplitMix64-style finalizer: it scrambles
+   the key before the modulo so that contiguous key ranges (and the
+   power-law hot set of [Workload.Skewed], whose hottest keys are the
+   lowest indices) spread across shards instead of piling onto shard 0.
+   Stateless and allocation-free, so routing is bit-identical across
+   runs, replays and processes — a recorded serve schedule stays
+   meaningful, and every committed repro file depends on these exact
+   constants (see the determinism notes in router.mli).
+
+   A split of shard [src] carves out the keys whose split bit — an
+   independent bit of the same mix, not involved in the modulo — is set;
+   those keys' post-split owner is the fresh shard [dst].  During the
+   migration the table is two-phase: a plan key is served by [dst] only
+   once the migration's durable journal says it moved ([moved k]),
+   otherwise still by [src] — so every key has exactly one owner at
+   every instant, and a reader can always be routed. *)
 
 let mix k =
   let open Int64 in
@@ -20,3 +32,57 @@ let mix k =
 let route ~shards k =
   if shards <= 0 then invalid_arg "Router.route: shards must be positive";
   mix k mod shards
+
+(* The split bit: bit 20 of the mix, far from the low bits the modulo
+   consumes for any realistic shard count, so the split halves [src]
+   near-evenly instead of correlating with placement. *)
+let splits ~shards ~src k = route ~shards k = src && (mix k lsr 20) land 1 = 1
+
+type phase = Stable | Migrating of (int -> bool)
+
+type t = {
+  base : int;  (* shard count before any split *)
+  mutable split : (int * int) option;  (* (src, dst) once a split began *)
+  mutable phase : phase;
+  mutable version : int;
+}
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  { base = shards; split = None; phase = Stable; version = 0 }
+
+let version t = t.version
+let shard_count t = t.base + (match t.split with Some _ -> 1 | None -> 0)
+
+let plan_mem t k =
+  match t.split with
+  | None -> false
+  | Some (src, _) -> splits ~shards:t.base ~src k
+
+let owner t k =
+  match t.split with
+  | None -> route ~shards:t.base k
+  | Some (src, dst) ->
+      if splits ~shards:t.base ~src k then
+        match t.phase with
+        | Stable -> dst
+        | Migrating moved -> if moved k then dst else src
+      else route ~shards:t.base k
+
+let begin_split t ~src ~moved =
+  if t.split <> None then
+    invalid_arg "Router.begin_split: a split is already registered";
+  if src < 0 || src >= t.base then
+    invalid_arg "Router.begin_split: src out of range";
+  let dst = t.base in
+  t.split <- Some (src, dst);
+  t.phase <- Migrating moved;
+  t.version <- t.version + 1;
+  dst
+
+let finish_split t =
+  match (t.split, t.phase) with
+  | Some _, Migrating _ ->
+      t.phase <- Stable;
+      t.version <- t.version + 1
+  | _ -> invalid_arg "Router.finish_split: no migration in progress"

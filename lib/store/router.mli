@@ -1,11 +1,74 @@
-(** Deterministic key-to-shard routing for the sharded store.
+(** Deterministic key-to-shard routing, and the versioned two-phase
+    routing table used while a shard split migrates keys.
 
-    Keys are scrambled with a SplitMix64-style finalizer before the
-    modulo, so contiguous ranges — and skewed workloads' hot set, whose
-    hottest keys are the lowest indices — spread across shards.  The
-    function is pure: the same key maps to the same shard in every run,
-    replay and process. *)
+    {2 Determinism contract}
+
+    Placement is a pure function of the key and the shard count: a
+    SplitMix64 finalizer (constants [0x9E3779B97F4A7C15],
+    [0xBF58476D1CE4E5B9], [0x94D049BB133111EB]; shifts 30/27/31; result
+    masked to 58 bits) followed by [mod shards].  No seed, no per-run
+    state, no dependence on insertion order: the same key maps to the
+    same shard in every run, every replay, every process, and every
+    workload seed.  This is load-bearing far beyond aesthetics — every
+    committed serve repro file ({!Store_repro}) encodes prefill routing
+    and crash points that assume this exact placement, so a silent
+    change to the mixing constants or to the split bit would corrupt
+    them all.  The property test in [test/test_elastic.ml] pins golden
+    placement values to catch exactly that.
+
+    {2 Two-phase splits}
+
+    A split of shard [src] moves the plan keys — those keys of [src]
+    whose {e split bit} (bit 20 of the same mix, independent of the
+    modulo bits) is set — to a fresh shard [dst].  While the migration
+    runs, the table is in a [Migrating] phase and consults the
+    migration's durable [moved] predicate per key: a plan key is owned
+    by [dst] iff its handoff has durably committed, by [src] otherwise.
+    Every key therefore has exactly one owner at every instant — the
+    invariant {!Store.explore} proves across crash points.  Each phase
+    change bumps {!version}. *)
 
 val route : shards:int -> int -> int
 (** [route ~shards k] is the shard index in [\[0, shards)] owning key
-    [k].  @raise Invalid_argument if [shards <= 0]. *)
+    [k] in an unsplit store.  Pure and stateless (see the determinism
+    contract above).  @raise Invalid_argument if [shards <= 0]. *)
+
+val splits : shards:int -> src:int -> int -> bool
+(** [splits ~shards ~src k]: does [k] belong to the split plan when
+    shard [src] of a [shards]-shard store is split?  True iff [src]
+    owns [k] and [k]'s split bit is set — a pure function, so the plan
+    is identical across runs and processes. *)
+
+type t
+(** A mutable routing table: [shards] base shards plus at most one
+    split (the elastic store migrates one shard per run). *)
+
+val create : shards:int -> t
+(** Fresh table, version 0, no split.
+    @raise Invalid_argument if [shards <= 0]. *)
+
+val version : t -> int
+(** Bumped by {!begin_split} and {!finish_split}. *)
+
+val shard_count : t -> int
+(** Base shards, plus one once a split is registered. *)
+
+val plan_mem : t -> int -> bool
+(** Is the key part of the registered split's plan?  [false] when no
+    split is registered. *)
+
+val owner : t -> int -> int
+(** The shard currently serving this key: base routing for non-plan
+    keys; for plan keys, [dst] once the key's handoff durably committed
+    (or the split finished), [src] before. *)
+
+val begin_split : t -> src:int -> moved:(int -> bool) -> int
+(** Register the split of [src]; returns the new shard's index (=
+    the base shard count).  [moved] is consulted per plan key while the
+    phase is [Migrating] — the migration backs it with its durable
+    journal.  @raise Invalid_argument if a split is already registered
+    or [src] is out of range. *)
+
+val finish_split : t -> unit
+(** Migration complete: plan keys now route to [dst] unconditionally.
+    @raise Invalid_argument if no migration is in progress. *)

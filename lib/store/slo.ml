@@ -11,13 +11,20 @@
 
 type shard_stat = {
   ss_sid : int;
+  ss_backend : string;  (* structure instance name (multi-backend stores) *)
   ss_served : int;
+  ss_keys : int;  (* resident keys at end of run (balance input) *)
   ss_crashes : int;
   ss_retried : int;
   ss_recovered : int;
+  ss_deferred : int;  (* guard deferrals (key mid-handoff) *)
+  ss_forwarded : int;  (* guard forwards (key owned elsewhere) *)
   ss_max_queue : int;
   ss_heap_lines : int;  (* occupancy of this shard's heap, in cache lines *)
   ss_recovery_ns : float list;  (* per crash, oldest first *)
+  ss_promotions : int;  (* crashes resolved by replica failover *)
+  ss_failover_ns : float list;  (* per promotion: crash -> promoted, oldest first *)
+  ss_resync_ns : float list;  (* per completed replica re-sync, oldest first *)
 }
 
 type degraded = {
@@ -54,6 +61,10 @@ type report = {
   lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
+  balance : float option;
+      (* max/min resident-key ratio across the set-model shards: 1.0 is
+         perfect balance; [None] when it is not measurable (no set-model
+         shard, or some set-model shard ended empty) *)
   windows : window list;  (* window-major, then shard id; [] if empty run *)
   window_ns : float;
   divergences : int;
@@ -108,16 +119,53 @@ let build ?window_ns ~total ~divergences ~requests ~(shards : Shard.t array)
          (fun (s : Shard.t) ->
            {
              ss_sid = s.Shard.sid;
+             ss_backend = s.Shard.algo.Set_intf.name;
              ss_served = s.Shard.served;
+             ss_keys = List.length (s.Shard.algo.Set_intf.contents ());
              ss_crashes = s.Shard.crashes;
              ss_retried = s.Shard.retried;
              ss_recovered = s.Shard.recovered;
+             ss_deferred = s.Shard.deferred;
+             ss_forwarded = s.Shard.forwarded;
              ss_max_queue = s.Shard.max_queue;
              ss_heap_lines = Pmem.lines_allocated s.Shard.heap;
              ss_recovery_ns =
                List.rev_map (fun (t0, t1) -> t1 -. t0) s.Shard.recoveries;
+             ss_promotions =
+               (match s.Shard.replica with
+               | Some rep -> rep.Replica.promotions
+               | None -> 0);
+             ss_failover_ns =
+               (match s.Shard.replica with
+               | Some rep ->
+                   List.rev_map (fun (t0, t1) -> t1 -. t0) rep.Replica.failovers
+               | None -> []);
+             ss_resync_ns =
+               (match s.Shard.replica with
+               | Some rep ->
+                   List.rev_map (fun (t0, t1) -> t1 -. t0) rep.Replica.resyncs
+               | None -> []);
            })
          shards)
+  in
+  (* Balance across the set-model shards only: a FIFO topic backend's
+     resident count follows its enqueue/dequeue mix, not placement, so
+     mixing it in would drown the router's signal. *)
+  let balance =
+    let key_counts =
+      Array.to_list shards
+      |> List.filter_map (fun (s : Shard.t) ->
+             match s.Shard.algo.Set_intf.model with
+             | Set_intf.Set_model ->
+                 Some (List.length (s.Shard.algo.Set_intf.contents ()))
+             | Set_intf.Queue_model -> None)
+    in
+    match key_counts with
+    | [] -> None
+    | c :: cs ->
+        let mn = List.fold_left min c cs and mx = List.fold_left max c cs in
+        if mn = 0 then if mx = 0 then Some 1.0 else None
+        else Some (float_of_int mx /. float_of_int mn)
   in
   let degraded =
     match crash_victim with
@@ -225,6 +273,7 @@ let build ?window_ns ~total ~divergences ~requests ~(shards : Shard.t array)
     lat_p99_ns = quantile lats 0.99;
     degraded;
     shards = stats;
+    balance;
     windows;
     window_ns = wn;
     divergences;
@@ -235,7 +284,7 @@ let build ?window_ns ~total ~divergences ~requests ~(shards : Shard.t array)
    when a crash was planned — the victim really crashed, recovery took
    measurable time, and the survivors kept completing requests inside
    the degraded window. *)
-let check ~crash_expected r =
+let check ?balance_max ~crash_expected r =
   if r.completed = 0 then
     Error
       (Printf.sprintf
@@ -247,17 +296,34 @@ let check ~crash_expected r =
     Error
       (Printf.sprintf "lost requests: completed %d of %d" r.completed
          r.total_requests)
-  else if crash_expected then
-    match r.degraded with
-    | None -> Error "lost crash: the planned shard crash never fired"
-    | Some d ->
-        if d.dg_window_ns <= 0. then
-          Error "lost crash: recovery window has zero duration"
-        else if d.dg_survivor_completions = 0 then
-          Error
-            "degraded throughput: no survivor completions during recovery"
-        else Ok ()
-  else Ok ()
+  else
+    let balance_verdict () =
+      match balance_max with
+      | None -> Ok ()
+      | Some limit -> (
+          match r.balance with
+          | None ->
+              Error
+                "imbalanced shards: a set-model shard ended empty (ratio \
+                 unbounded)"
+          | Some ratio when ratio > limit ->
+              Error
+                (Printf.sprintf
+                   "imbalanced shards: max/min key ratio %.2f exceeds %.2f"
+                   ratio limit)
+          | Some _ -> Ok ())
+    in
+    if crash_expected then
+      match r.degraded with
+      | None -> Error "lost crash: the planned shard crash never fired"
+      | Some d ->
+          if d.dg_window_ns <= 0. then
+            Error "lost crash: recovery window has zero duration"
+          else if d.dg_survivor_completions = 0 then
+            Error
+              "degraded throughput: no survivor completions during recovery"
+          else balance_verdict ()
+    else balance_verdict ()
 
 let pp ppf r =
   Format.fprintf ppf
@@ -279,18 +345,33 @@ let pp ppf r =
         "degraded window: shard %d down %.0f ns; survivors completed %d \
          requests (%.3f Mops/s)@."
         d.dg_victim d.dg_window_ns d.dg_survivor_completions d.dg_survivor_mops);
+  (match r.balance with
+  | None -> ()
+  | Some ratio -> Format.fprintf ppf "balance: max/min key ratio %.2f@." ratio);
   List.iter
     (fun s ->
       Format.fprintf ppf
-        "  shard %d: served %d  crashes %d  retried %d  recovered %d  \
-         max-queue %d  heap %d lines%s@."
-        s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
-        s.ss_max_queue s.ss_heap_lines
+        "  shard %d (%s): served %d  keys %d  crashes %d  retried %d  \
+         recovered %d  deferred %d  forwarded %d  max-queue %d  heap %d \
+         lines%s%s@."
+        s.ss_sid s.ss_backend s.ss_served s.ss_keys s.ss_crashes s.ss_retried
+        s.ss_recovered s.ss_deferred s.ss_forwarded s.ss_max_queue
+        s.ss_heap_lines
         (match s.ss_recovery_ns with
         | [] -> ""
         | ds ->
             "  recovery " ^ String.concat "+"
-              (List.map (fun d -> Printf.sprintf "%.0fns" d) ds)))
+              (List.map (fun d -> Printf.sprintf "%.0fns" d) ds))
+        (if s.ss_promotions = 0 then ""
+         else
+           Printf.sprintf "  failover %d (%s)%s" s.ss_promotions
+             (String.concat "+"
+                (List.map (fun d -> Printf.sprintf "%.0fns" d) s.ss_failover_ns))
+             (match s.ss_resync_ns with
+             | [] -> ", re-sync pending"
+             | ds ->
+                 ", re-sync " ^ String.concat "+"
+                   (List.map (fun d -> Printf.sprintf "%.0fns" d) ds))))
     r.shards;
   if r.divergences > 0 then
     Format.fprintf ppf "  WARNING: %d schedule divergences@." r.divergences
@@ -316,16 +397,22 @@ let to_json r =
       f
         "\"degraded\":{\"victim\":%d,\"window_ns\":%.1f,\"survivor_completions\":%d,\"survivor_mops\":%.6f},"
         d.dg_victim d.dg_window_ns d.dg_survivor_completions d.dg_survivor_mops);
+  (match r.balance with
+  | None -> f "\"balance\":null,"
+  | Some ratio -> f "\"balance\":%.4f," ratio);
   f "\"shards\":[";
   List.iteri
     (fun i s ->
       if i > 0 then f ",";
+      let ns_list l =
+        String.concat "," (List.map (fun d -> Printf.sprintf "%.1f" d) l)
+      in
       f
-        "{\"sid\":%d,\"served\":%d,\"crashes\":%d,\"retried\":%d,\"recovered\":%d,\"max_queue\":%d,\"heap_lines\":%d,\"recovery_ns\":[%s]}"
-        s.ss_sid s.ss_served s.ss_crashes s.ss_retried s.ss_recovered
-        s.ss_max_queue s.ss_heap_lines
-        (String.concat ","
-           (List.map (fun d -> Printf.sprintf "%.1f" d) s.ss_recovery_ns)))
+        "{\"sid\":%d,\"backend\":\"%s\",\"served\":%d,\"keys\":%d,\"crashes\":%d,\"retried\":%d,\"recovered\":%d,\"deferred\":%d,\"forwarded\":%d,\"max_queue\":%d,\"heap_lines\":%d,\"recovery_ns\":[%s],\"promotions\":%d,\"failover_ns\":[%s],\"resync_ns\":[%s]}"
+        s.ss_sid s.ss_backend s.ss_served s.ss_keys s.ss_crashes s.ss_retried
+        s.ss_recovered s.ss_deferred s.ss_forwarded s.ss_max_queue
+        s.ss_heap_lines (ns_list s.ss_recovery_ns) s.ss_promotions
+        (ns_list s.ss_failover_ns) (ns_list s.ss_resync_ns))
     r.shards;
   f "],\"window_ns\":%.1f,\"windows\":[" r.window_ns;
   List.iteri

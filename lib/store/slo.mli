@@ -10,13 +10,23 @@
 
 type shard_stat = {
   ss_sid : int;
+  ss_backend : string;  (** structure instance name (multi-backend stores) *)
   ss_served : int;
+  ss_keys : int;  (** resident keys at end of run (balance input) *)
   ss_crashes : int;
   ss_retried : int;  (** backlog requeued by this shard's crashes *)
   ss_recovered : int;  (** in-flight requests resolved via [recover] *)
+  ss_deferred : int;  (** guard deferrals (key mid-handoff) *)
+  ss_forwarded : int;  (** guard forwards (key owned elsewhere) *)
   ss_max_queue : int;
   ss_heap_lines : int;  (** cache lines allocated on this shard's heap *)
   ss_recovery_ns : float list;  (** per crash, oldest first *)
+  ss_promotions : int;  (** crashes resolved by replica failover *)
+  ss_failover_ns : float list;
+      (** per promotion, crash → promoted, oldest first — the failover
+          window replication buys in place of a restart *)
+  ss_resync_ns : float list;
+      (** per completed replica re-sync, oldest first *)
 }
 
 type degraded = {
@@ -59,6 +69,10 @@ type report = {
   lat_p99_ns : float option;
   degraded : degraded option;
   shards : shard_stat list;
+  balance : float option;
+      (** max/min resident-key ratio across the set-model shards (1.0 =
+          perfect); [None] when unmeasurable — no set-model shard, or a
+          set-model shard ended empty while another didn't *)
   windows : window list;  (** window-major, then shard id; [[]] if empty *)
   window_ns : float;  (** width actually used (makespan/8 by default) *)
   divergences : int;  (** schedule-replay divergences (0 unless replaying) *)
@@ -80,12 +94,14 @@ val build :
 (** [window_ns] sets the windowed time-series' bucket width; by default
     the makespan is split into 8 windows. *)
 
-val check : crash_expected:bool -> report -> (unit, string) result
+val check :
+  ?balance_max:float -> crash_expected:bool -> report -> (unit, string) result
 (** The `--check` gate: at least one completed request (an empty run
     fails loudly instead of vacuously passing), zero lost requests; and
     when a crash was planned, the victim really crashed, the recovery
     window has positive duration, and survivors completed requests
-    inside it. *)
+    inside it.  [balance_max] additionally requires {!report.balance} to
+    be measurable and at most this ratio (the `--check-balance` gate). *)
 
 val pp : Format.formatter -> report -> unit
 val to_json : report -> string

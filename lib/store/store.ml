@@ -1,14 +1,17 @@
 (* The sharded recoverable KV service: N shards (each an independent
-   recoverable structure on its own heap, see Shard), a deterministic
-   router, client fibers (closed-loop, or open-loop with a virtual-time
-   Poisson arrival process), and a controller fiber that can crash a
-   single shard mid-traffic.
+   recoverable structure on its own heap, see Shard), a versioned
+   two-phase router, client fibers (closed-loop, or open-loop with a
+   virtual-time Poisson arrival process), and a controller fiber that
+   injects crashes and releases the live migration mid-traffic.
 
    Thread layout: tid 0 is the controller, tids 1..C the clients, tids
-   C+1..C+S the shard servers.  Everything runs in ONE Sim.run — the
-   crash is a per-fiber interrupt handled inside the victim's server
-   fiber, not a run boundary, which is what lets the surviving shards
-   keep serving while the victim recovers. *)
+   C+1..C+S the shard servers (plus one more server when a migration
+   plan adds the destination shard at sid = S).  Everything runs in ONE
+   Sim.run — crashes are per-fiber interrupts handled inside each
+   victim's server fiber, not run boundaries, which is what lets the
+   surviving shards keep serving while victims recover, and what makes
+   correlated crashes (both migration endpoints, or a cascade landing
+   inside another shard's recovery window) expressible at all. *)
 
 type crash_plan =
   | After_requests of { victim : int; requests : int }
@@ -16,9 +19,25 @@ type crash_plan =
   | At_dispatch of { victim : int; dispatch : int }
       (* static Sim interrupt at the victim server's n-th dispatch —
          the exploration harness's replayable crash point *)
+  | Both_at_dispatch of { a : int; b : int; dispatch : int }
+      (* correlated power loss: both servers interrupted at their own
+         n-th dispatch; each heap's write-backs resolve independently
+         ([a] under [wb], [b] under [wb2]) *)
+  | Cascade of { first : int; second : int; dispatch : int }
+      (* [first] crashes at its n-th dispatch; the controller then
+         crashes [second] inside [first]'s recovery window *)
+
+type migrate_plan = {
+  msrc : int;  (* shard being split *)
+  m_after : int;  (* release the migration after this many completions *)
+  m_broken : bool;  (* elide the handoff-commit pwb (negative control) *)
+}
 
 type config = {
   factory : Set_intf.factory;
+  backends : Set_intf.factory array option;
+      (* per-shard structure factories (length = shards); [None] = every
+         shard uses [factory] *)
   shards : int;
   clients : int;
   ops_per_client : int;
@@ -27,13 +46,21 @@ type config = {
   open_loop_ns : float option;
   crash : crash_plan option;
   wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  wb2 : [ `Rng | `Drop | `All | `Prefix of int ] option;
+      (* write-back resolution of the SECOND victim of a correlated
+         crash; [None] = same as [wb].  Distinct resolutions are what
+         make a both-endpoint power loss adversarial per heap. *)
   restart_ns : float;
+  failover_ns : float;
+  replicate : bool;  (* attach a promotable replica to every shard *)
+  migrate : migrate_plan option;
   seed : int;
 }
 
 let default_config factory =
   {
     factory;
+    backends = None;
     shards = 4;
     clients = 4;
     ops_per_client = 200;
@@ -42,7 +69,11 @@ let default_config factory =
     open_loop_ns = None;
     crash = None;
     wb = `Rng;
+    wb2 = None;
     restart_ns = 5_000.;
+    failover_ns = 500.;
+    replicate = false;
+    migrate = None;
     seed = 1;
   }
 
@@ -53,13 +84,39 @@ let submit_ns = 30.
 let poll_ns = 60.
 let activation_ns = 40.
 
-let victim_of = function
-  | None -> None
+(* Total server count: a migration plan adds the destination shard. *)
+let shard_total cfg =
+  cfg.shards + (match cfg.migrate with Some _ -> 1 | None -> 0)
+
+let victims_of = function
+  | None -> []
   | Some (After_requests { victim; _ }) | Some (At_dispatch { victim; _ }) ->
-      Some victim
+      [ victim ]
+  | Some (Both_at_dispatch { a; b; _ }) -> [ a; b ]
+  | Some (Cascade { first; second; _ }) -> [ first; second ]
+
+(* The shard whose recovery windows the degraded-window analysis tracks:
+   the first victim. *)
+let victim_of cfg =
+  match victims_of cfg.crash with [] -> None | v :: _ -> Some v
+
+(* The victim whose heap resolves under [wb2] instead of [wb]. *)
+let second_victim_of = function
+  | Some (Both_at_dispatch { b; _ }) -> Some b
+  | Some (Cascade { second; _ }) -> Some second
+  | _ -> None
+
+let backend_of cfg sid =
+  match cfg.migrate with
+  | Some { msrc; _ } when sid = cfg.shards -> (
+      (* the destination shard runs the same structure as its source *)
+      match cfg.backends with Some arr -> arr.(msrc) | None -> cfg.factory)
+  | _ -> (
+      match cfg.backends with Some arr -> arr.(sid) | None -> cfg.factory)
 
 let validate cfg =
-  let threads = 1 + cfg.clients + cfg.shards in
+  let nshards = shard_total cfg in
+  let threads = 1 + cfg.clients + nshards in
   if cfg.shards < 1 then Error "store: shards must be >= 1"
   else if cfg.clients < 1 then Error "store: clients must be >= 1"
   else if cfg.ops_per_client < 1 then Error "store: ops-per-client must be >= 1"
@@ -67,12 +124,31 @@ let validate cfg =
   else if threads > Pmem.max_threads then
     Error
       (Printf.sprintf "store: 1 + %d clients + %d shards exceeds %d threads"
-         cfg.clients cfg.shards Pmem.max_threads)
+         cfg.clients nshards Pmem.max_threads)
   else
-    match victim_of cfg.crash with
-    | Some v when v < 0 || v >= cfg.shards ->
-        Error (Printf.sprintf "store: crash shard %d out of range" v)
-    | _ -> Ok threads
+    match cfg.backends with
+    | Some arr when Array.length arr <> cfg.shards ->
+        Error
+          (Printf.sprintf "store: %d backends for %d shards" (Array.length arr)
+             cfg.shards)
+    | _ -> (
+        match cfg.migrate with
+        | Some { msrc; m_after; _ }
+          when msrc < 0 || msrc >= cfg.shards || m_after < 0 ->
+            Error (Printf.sprintf "store: migration source %d out of range" msrc)
+        | _ -> (
+            let bad =
+              List.find_opt (fun v -> v < 0 || v >= nshards)
+                (victims_of cfg.crash)
+            in
+            match (bad, cfg.crash) with
+            | Some v, _ ->
+                Error (Printf.sprintf "store: crash shard %d out of range" v)
+            | None, Some (Both_at_dispatch { a; b; _ }) when a = b ->
+                Error "store: correlated crash needs two distinct shards"
+            | None, Some (Cascade { first; second; _ }) when first = second ->
+                Error "store: cascade needs two distinct shards"
+            | None, _ -> Ok threads))
 
 let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
   match validate cfg with
@@ -80,18 +156,46 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
   | Ok threads -> (
       Pmem.reset_pending ();
       Pstats.set_all_enabled true;
+      let nshards = shard_total cfg in
       let server_tid sid = 1 + cfg.clients + sid in
       let shards =
-        Array.init cfg.shards (fun sid ->
-            Shard.create cfg.factory ~threads ~server_tid:(server_tid sid) sid)
+        Array.init nshards (fun sid ->
+            Shard.create ~replicate:cfg.replicate (backend_of cfg sid) ~threads
+              ~server_tid:(server_tid sid) sid)
       in
+      let table = Router.create ~shards:cfg.shards in
+      let migration =
+        match cfg.migrate with
+        | None -> None
+        | Some { msrc; m_broken; _ } ->
+            Some
+              (Migration.create ~table ~src:shards.(msrc)
+                 ~dst:shards.(cfg.shards) ~key_range:cfg.workload.Workload.key_range
+                 ~poll_ns ~broken:m_broken ())
+      in
+      match
+        match cfg.migrate with
+        | Some { msrc; _ }
+          when shards.(msrc).Shard.algo.Set_intf.model <> Set_intf.Set_model ->
+            Error
+              (Printf.sprintf
+                 "store: migration source shard %d is not a set-model backend"
+                 msrc)
+        | _ -> Ok ()
+      with
+      | Error _ as e -> e
+      | Ok () -> (
       (* Prefill outside the simulated run (like Crashes): route each key
-         to its owning shard so per-shard contents match live routing. *)
+         to its owning shard so per-shard contents match live routing; a
+         replica is prefilled identically so it starts in sync. *)
       let prng = Random.State.make [| cfg.seed; 0x5704E |] in
       for _ = 1 to cfg.workload.Workload.prefill_n do
         let k = Workload.gen_key prng cfg.workload in
-        let sid = Router.route ~shards:cfg.shards k in
-        ignore (shards.(sid).Shard.algo.Set_intf.insert k : bool)
+        let s = shards.(Router.owner table k) in
+        ignore (s.Shard.algo.Set_intf.insert k : bool);
+        match s.Shard.replica with
+        | Some rep -> ignore (rep.Replica.algo.Set_intf.insert k : bool)
+        | None -> ()
       done;
       Pmem.reset_pending ();
       if Metrics.active () then Metrics.reset ();
@@ -109,7 +213,30 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
         Metrics.observe lat_hist
           (Float.max 0. (Sim.now () -. req.Shard.submit_ns))
       in
-      let live () = !completed < total in
+      (* Servers stay up past the last client completion until the
+         migration finishes — handoffs keep flowing on an idle store. *)
+      let live () =
+        !completed < total
+        ||
+        match migration with
+        | Some m -> not (Migration.finished m)
+        | None -> false
+      in
+      (* The elastic guard, evaluated by every server on every client
+         request it pops: a key mid-handoff defers its mutations (reads
+         still serve — the source copy stays authoritative until the
+         handoff commits); a key the routing table moved forwards to its
+         current owner. *)
+      let guard (self : Shard.t) (req : Shard.request) =
+        let k = Set_intf.op_key req.Shard.op in
+        match migration with
+        | Some m when Migration.in_handoff m k && Set_intf.is_update req.Shard.op
+          ->
+            `Defer
+        | _ ->
+            let owner = Router.owner table k in
+            if owner = self.Shard.sid then `Execute else `Forward shards.(owner)
+      in
       let client cid =
         let crng = Random.State.make [| cfg.seed; cid; 0xC11E27 |] in
         for _ = 1 to cfg.ops_per_client do
@@ -123,7 +250,7 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
               Sim.advance (-.mean *. log (1. -. u)));
           Sim.step submit_ns;
           let op = Workload.gen_op crng cfg.workload in
-          let sid = Router.route ~shards:cfg.shards (Set_intf.op_key op) in
+          let sid = Router.owner table (Set_intf.op_key op) in
           incr next_rid;
           let req =
             {
@@ -131,6 +258,7 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
               rsid = sid;
               op;
               submit_ns = Sim.now ();
+              internal = false;
               retried = false;
               state = Shard.Pending;
             }
@@ -152,6 +280,20 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
         done
       in
       let controller () =
+        (match (migration, cfg.migrate) with
+        | Some m, Some { m_after; _ } ->
+            let rec wait () =
+              if !completed < m_after && !completed < total then begin
+                Sim.step 50.;
+                wait ()
+              end
+            in
+            wait ();
+            Trace.note
+              (Printf.sprintf "releasing migration after %d completions"
+                 !completed);
+            Migration.release m
+        | _ -> ());
         match cfg.crash with
         | Some (After_requests { victim; requests = after }) ->
             let rec wait () =
@@ -167,7 +309,31 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
                                  completions" victim !completed);
               Sim.interrupt ~tid:(server_tid victim) Shard.Crash
             end
-        | Some (At_dispatch _) | None -> ()
+        | Some (Cascade { first; second; dispatch = _ }) ->
+            (* land the second crash inside the first victim's recovery
+               window: poll for [in_recovery] (restart_ns dwarfs the
+               50 ns poll, so the window cannot be missed) *)
+            let rec watch () =
+              if live () then
+                if shards.(first).Shard.in_recovery then begin
+                  Trace.note
+                    (Printf.sprintf
+                       "cascade: crashing shard %d inside shard %d's recovery"
+                       second first);
+                  Sim.interrupt ~tid:(server_tid second) Shard.Crash
+                end
+                else begin
+                  Sim.step 50.;
+                  watch ()
+                end
+            in
+            watch ()
+        | Some (At_dispatch _ | Both_at_dispatch _) | None -> ()
+      in
+      let second_victim = second_victim_of cfg.crash in
+      let wb_for sid =
+        if second_victim = Some sid then Option.value cfg.wb2 ~default:cfg.wb
+        else cfg.wb
       in
       let bodies =
         Array.init threads (fun tid ->
@@ -175,18 +341,42 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
             else if tid <= cfg.clients then fun (_ : int) -> client (tid - 1)
             else
               fun (_ : int) ->
-                Shard.serve
-                  shards.(tid - 1 - cfg.clients)
-                  ~batch:cfg.batch ~activation_ns ~poll_ns
-                  ~restart_ns:cfg.restart_ns ~wb:cfg.wb ~live ~on_complete)
+                let sid = tid - 1 - cfg.clients in
+                let s = shards.(sid) in
+                let mig_here =
+                  match migration with
+                  | Some m when sid = cfg.shards -> Some m
+                  | _ -> None
+                in
+                Shard.serve s ~batch:cfg.batch ~activation_ns ~poll_ns
+                  ~restart_ns:cfg.restart_ns ~failover_ns:cfg.failover_ns
+                  ~wb:(wb_for sid) ~live ~on_complete ~guard:(guard s)
+                  ?side_work:
+                    (Option.map
+                       (fun m ~drain -> Migration.step m ~drain)
+                       mig_here)
+                  ?after_recovery:
+                    (Option.map (fun m () -> Migration.on_recover m) mig_here)
+                  ())
       in
       let interrupts =
         match cfg.crash with
-        | Some (At_dispatch { victim; dispatch }) ->
+        | Some (At_dispatch { victim; dispatch })
+        | Some (Cascade { first = victim; dispatch; _ }) ->
             [| (server_tid victim, dispatch, Shard.Crash) |]
-        | _ -> [||]
+        | Some (Both_at_dispatch { a; b; dispatch }) ->
+            [|
+              (server_tid a, dispatch, Shard.Crash);
+              (server_tid b, dispatch, Shard.Crash);
+            |]
+        | Some (After_requests _) | None -> [||]
       in
-      let step_limit = max 2_000_000 (total * 20_000) in
+      let step_limit =
+        let base = max 2_000_000 (total * 20_000) in
+        match cfg.migrate with
+        | Some _ -> (base * 2) + (cfg.workload.Workload.key_range * 10_000)
+        | None -> base
+      in
       let divergences = ref 0 in
       match
         Sim.run ~policy:`Perf ~seed:cfg.seed ~step_limit ~schedule ~record
@@ -200,37 +390,114 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
             "step budget exhausted: lost request or livelock suspected"
       | Sim.Crashed_at _ -> Error "store: unexpected machine-wide crash"
       | Sim.All_done -> (
-          let shard_error =
+          let first_error checks =
+            List.fold_left
+              (fun acc check ->
+                match acc with Some _ -> acc | None -> check ())
+              None checks
+          in
+          let shard_checks =
+            Array.to_list shards
+            |> List.map (fun (s : Shard.t) () ->
+                   match s.Shard.algo.Set_intf.check () with
+                   | Error msg ->
+                       Some
+                         (Printf.sprintf "structure invariant: shard %d: %s"
+                            s.Shard.sid msg)
+                   | Ok () -> (
+                       (* the per-shard oracle matches the backend's
+                          semantics: set membership, or FIFO topic replay *)
+                       let final = s.Shard.algo.Set_intf.contents () in
+                       let events = List.rev s.Shard.events in
+                       let verdict =
+                         match s.Shard.algo.Set_intf.model with
+                         | Set_intf.Set_model ->
+                             Oracle.check ~initial:s.Shard.initial ~final events
+                         | Set_intf.Queue_model ->
+                             Oracle.check_queue ~initial:s.Shard.initial ~final
+                               events
+                       in
+                       match verdict with
+                       | Error msg ->
+                           Some
+                             (Printf.sprintf "oracle: shard %d: %s" s.Shard.sid
+                                msg)
+                       | Ok () -> None))
+          in
+          let migration_check () =
+            match migration with
+            | Some m when not (Migration.finished m) ->
+                Some "migration: never completed (handoffs still pending)"
+            | _ -> None
+          in
+          (* Every key in exactly one shard: each resident key's shard
+             must be its routed owner (owners are unique, so this also
+             forbids double residence). *)
+          let ownership_check () =
             Array.fold_left
               (fun acc (s : Shard.t) ->
                 match acc with
                 | Some _ -> acc
-                | None -> (
-                    match s.Shard.algo.Set_intf.check () with
-                    | Error msg ->
-                        Some
-                          (Printf.sprintf "structure invariant: shard %d: %s"
-                             s.Shard.sid msg)
-                    | Ok () -> (
-                        let final = s.Shard.algo.Set_intf.contents () in
-                        match
-                          Oracle.check ~initial:s.Shard.initial ~final
-                            (List.rev s.Shard.events)
-                        with
-                        | Error msg ->
-                            Some
-                              (Printf.sprintf "oracle: shard %d: %s"
-                                 s.Shard.sid msg)
-                        | Ok () -> None)))
+                | None ->
+                    List.fold_left
+                      (fun acc k ->
+                        match acc with
+                        | Some _ -> acc
+                        | None ->
+                            let owner = Router.owner table k in
+                            if owner <> s.Shard.sid then
+                              Some
+                                (Printf.sprintf
+                                   "ownership: key %d resides in shard %d but \
+                                    routes to shard %d"
+                                   k s.Shard.sid owner)
+                            else None)
+                      None
+                      (s.Shard.algo.Set_intf.contents ()))
               None shards
           in
-          match shard_error with
+          (* The store-level conservation oracle: the union of the
+             set-model shards must reconcile with the CLIENT events alone
+             — migration plumbing is excluded, so a key a broken handoff
+             loses from both shards (each per-shard history consistent!)
+             surfaces here as a conservation violation. *)
+          let union_check () =
+            let set_shards =
+              Array.to_list shards
+              |> List.filter (fun (s : Shard.t) ->
+                     s.Shard.algo.Set_intf.model = Set_intf.Set_model)
+            in
+            if set_shards = [] then None
+            else
+              let union l = List.sort_uniq compare (List.concat l) in
+              let initial =
+                union (List.map (fun (s : Shard.t) -> s.Shard.initial) set_shards)
+              in
+              let final =
+                union
+                  (List.map
+                     (fun (s : Shard.t) -> s.Shard.algo.Set_intf.contents ())
+                     set_shards)
+              in
+              let events =
+                List.concat_map
+                  (fun (s : Shard.t) -> List.rev s.Shard.client_events)
+                  set_shards
+              in
+              match Oracle.check ~initial ~final events with
+              | Error msg -> Some ("store oracle: " ^ msg)
+              | Ok () -> None
+          in
+          match
+            first_error
+              (shard_checks @ [ migration_check; ownership_check; union_check ])
+          with
           | Some msg -> Error msg
           | None ->
               let report =
                 Slo.build ~total ~divergences:!divergences
                   ~requests:!requests ~shards
-                  ~crash_victim:(victim_of cfg.crash) ()
+                  ~crash_victim:(victim_of cfg) ()
               in
               if Trace.active () then
                 List.iter
@@ -240,24 +507,34 @@ let run ?(record = fun (_ : int) -> ()) ?(schedule = [||]) cfg =
                       ~completions:w.Slo.w_completions ~mops:w.Slo.w_mops
                       ~lat_mean_ns:w.Slo.w_lat_mean_ns)
                   report.Slo.windows;
-              Ok report))
+              Ok report)))
 
 (* ---- bounded exhaustive exploration ----------------------------------- *)
 
-(* Sweep shard-local crash points of a small store: for each victim
-   shard, interrupt its server at dispatch 1, 2, ... up to
+(* Sweep shard-local crash points of a small store: for each victim spec
+   — a single shard, or (for migration campaigns) both endpoints at
+   once — interrupt the victim server(s) at dispatch 1, 2, ... up to
    [dispatch_budget] (or until the interrupt stops firing — the server
    finished earlier), crossed with the deterministic write-back
-   resolutions.  Every execution must yield definite request outcomes —
-   zero lost, per-shard oracle agreement — or the sweep reports the
-   first counterexample.  With a fixed seed and the `Perf policy the
-   schedule is pinned, so a failing (victim, dispatch, wb) triple
-   replays as is. *)
+   resolutions; a both-endpoints spec crosses PAIRS of resolutions, so
+   the two heaps resolve adversarially and independently.  Every
+   execution must yield definite request outcomes — zero lost, per-shard
+   oracle agreement, migration completion, exactly-one ownership, and
+   store-level conservation — or the sweep reports the first
+   counterexample.  With a fixed seed and the `Perf policy the schedule
+   is pinned, so a failing (spec, dispatch, wb) triple replays as is. *)
+
+type victim_spec = Single of int | Both of int * int
+
+let spec_label = function
+  | Single v -> Printf.sprintf "shard%d" v
+  | Both (a, b) -> Printf.sprintf "shard%d+shard%d" a b
 
 type explore_stats = {
   ex_executions : int;
   ex_fired : int;  (* runs whose interrupt actually delivered *)
-  ex_max_dispatch : int array;  (* highest firing dispatch index per shard *)
+  ex_max_dispatch : (string * int) array;
+      (* per victim spec: label, highest firing dispatch index *)
   ex_failures : int;
   ex_first_failure : string option;
   ex_first_cex : (config * int array * string) option;
@@ -269,18 +546,32 @@ let wb_label = function
   | `All -> "all"
   | `Prefix n -> Printf.sprintf "prefix:%d" n
 
+let default_wb_pairs =
+  [ (`Drop, `Drop); (`All, `All); (`Drop, `All); (`All, `Drop);
+    (`Prefix 1, `Prefix 1) ]
+
 let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
-    ?(dispatch_budget = 64) ?(jobs = 1) cfg =
+    ?(wb_pairs = default_wb_pairs) ?(dispatch_budget = 64) ?(jobs = 1) cfg =
   match run { cfg with crash = None } with
   | Error msg -> Error ("explore: crash-free baseline failed: " ^ msg)
   | Ok _ ->
-      (* One victim's sweep is independent of every other victim's (each
-         execution rebuilds the store from the seed), so victims are the
-         parallel work items: results merge per victim index and the
-         reported first counterexample is the lowest victim's first, which
-         is exactly the sequential visit order — output is byte-identical
-         at every [jobs] value. *)
-      let sweep_victim victim =
+      (* Victim specs: every single shard — or, for a migration config,
+         the source, the destination, and the correlated both-endpoints
+         power loss (the only double-crash whose interaction is novel:
+         the journal and the data it reconciles fail together). *)
+      let specs =
+        match cfg.migrate with
+        | Some { msrc; _ } ->
+            [| Single msrc; Single cfg.shards; Both (msrc, cfg.shards) |]
+        | None -> Array.init cfg.shards (fun v -> Single v)
+      in
+      (* One spec's sweep is independent of every other's (each execution
+         rebuilds the store from the seed), so specs are the parallel
+         work items: results merge per spec index and the reported first
+         counterexample is the lowest spec's first, which is exactly the
+         sequential visit order — output is byte-identical at every
+         [jobs] value. *)
+      let sweep_spec spec =
         let executions = ref 0 in
         let fired = ref 0 in
         let failures = ref 0 in
@@ -306,35 +597,55 @@ let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
             first_cex := Some (cfg', Array.of_list (List.rev !sched), bare)
           end
         in
+        let arms =
+          match spec with
+          | Single _ -> List.map (fun wb -> (wb, None)) wbs
+          | Both _ -> List.map (fun (w1, w2) -> (w1, Some w2)) wb_pairs
+        in
+        let arm_label (wb, wb2) =
+          match wb2 with
+          | None -> wb_label wb
+          | Some w2 -> wb_label wb ^ "+" ^ wb_label w2
+        in
         let max_dispatch = ref 0 in
         let k = ref 1 in
         let continue = ref true in
         while !continue && !k <= dispatch_budget do
           let fired_here = ref false in
           List.iter
-            (fun wb ->
-              let cfg' =
-                { cfg with crash = Some (At_dispatch { victim; dispatch = !k }); wb }
+            (fun ((wb, wb2) as arm) ->
+              let crash =
+                match spec with
+                | Single v -> At_dispatch { victim = v; dispatch = !k }
+                | Both (a, b) -> Both_at_dispatch { a; b; dispatch = !k }
               in
+              let cfg' = { cfg with crash = Some crash; wb; wb2 } in
               incr executions;
               match run cfg' with
               | Error msg ->
                   fired_here := true;
                   fail cfg'
-                    (Printf.sprintf "victim %d dispatch %d wb %s: %s" victim
-                       !k (wb_label wb) msg)
+                    (Printf.sprintf "victim %s dispatch %d wb %s: %s"
+                       (spec_label spec) !k (arm_label arm) msg)
               | Ok report ->
-                  let stat = List.nth report.Slo.shards victim in
-                  if stat.Slo.ss_crashes > 0 then begin
+                  let crashed sid =
+                    (List.nth report.Slo.shards sid).Slo.ss_crashes > 0
+                  in
+                  let delivered =
+                    match spec with
+                    | Single v -> crashed v
+                    | Both (a, b) -> crashed a || crashed b
+                  in
+                  if delivered then begin
                     incr fired;
                     fired_here := true
                   end;
                   if report.Slo.lost > 0 then
                     fail cfg'
                       (Printf.sprintf
-                         "victim %d dispatch %d wb %s: %d lost requests"
-                         victim !k (wb_label wb) report.Slo.lost))
-            wbs;
+                         "victim %s dispatch %d wb %s: %d lost requests"
+                         (spec_label spec) !k (arm_label arm) report.Slo.lost))
+            arms;
           if !fired_here then begin
             max_dispatch := !k;
             incr k
@@ -344,19 +655,15 @@ let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
         (!executions, !fired, !failures, !first_failure, !first_cex,
          !max_dispatch)
       in
-      let per_victim =
-        Parallel.run ~jobs
-          (fun _ v -> sweep_victim v)
-          (Array.init cfg.shards (fun v -> v))
-      in
+      let per_spec = Parallel.run ~jobs (fun _ s -> sweep_spec s) specs in
       let executions = ref 0 in
       let fired = ref 0 in
       let failures = ref 0 in
       let first_failure = ref None in
       let first_cex = ref None in
-      let max_dispatch = Array.make cfg.shards 0 in
+      let max_dispatch = Array.make (Array.length specs) ("", 0) in
       Array.iteri
-        (fun v (ex, fi, fa, ff, cex, md) ->
+        (fun i (ex, fi, fa, ff, cex, md) ->
           executions := !executions + ex;
           fired := !fired + fi;
           failures := !failures + fa;
@@ -364,8 +671,8 @@ let explore ?(wbs = [ `Drop; `All; `Prefix 1; `Prefix 2 ])
             first_failure := ff;
             first_cex := cex
           end;
-          max_dispatch.(v) <- md)
-        per_victim;
+          max_dispatch.(i) <- (spec_label specs.(i), md))
+        per_spec;
       Ok
         {
           ex_executions = !executions;

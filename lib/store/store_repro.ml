@@ -21,6 +21,13 @@ type t = {
   open_loop_ns : float option;
   crash : Store.crash_plan option;
   wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  (* Elastic-store fields.  All optional in the file with the defaults
+     below, so pre-elastic repro files parse unchanged. *)
+  wb2 : [ `Rng | `Drop | `All | `Prefix of int ] option;  (* default None *)
+  backends : string list option;  (* per-shard algo names; default None *)
+  replicate : bool;  (* default false *)
+  failover_ns : float;  (* default 500 *)
+  migrate : Store.migrate_plan option;  (* default None *)
   restart_ns : float;
   seed : int;
   error : string;
@@ -44,6 +51,15 @@ let of_config (cfg : Store.config) ~error ~schedule =
     open_loop_ns = cfg.Store.open_loop_ns;
     crash = cfg.Store.crash;
     wb = cfg.Store.wb;
+    wb2 = cfg.Store.wb2;
+    backends =
+      Option.map
+        (fun arr ->
+          Array.to_list (Array.map (fun f -> f.Set_intf.fname) arr))
+        cfg.Store.backends;
+    replicate = cfg.Store.replicate;
+    failover_ns = cfg.Store.failover_ns;
+    migrate = cfg.Store.migrate;
     restart_ns = cfg.Store.restart_ns;
     seed = cfg.Store.seed;
     error;
@@ -67,27 +83,50 @@ let config_of r =
                 | exception Invalid_argument m -> Error m)
           with
           | Error m -> Error m
-          | Ok dist ->
-              Ok
-                {
-                  Store.factory;
-                  shards = r.shards;
-                  clients = r.clients;
-                  ops_per_client = r.ops_per_client;
-                  batch = r.batch;
-                  workload =
+          | Ok dist -> (
+              let backends =
+                match r.backends with
+                | None -> Ok None
+                | Some names ->
+                    let rec resolve acc = function
+                      | [] -> Ok (Some (Array.of_list (List.rev acc)))
+                      | n :: rest -> (
+                          match Set_intf.by_name n with
+                          | Error msg ->
+                              Error
+                                (Printf.sprintf "serve repro references %s" msg)
+                          | Ok f -> resolve (f :: acc) rest)
+                    in
+                    resolve [] names
+              in
+              match backends with
+              | Error _ as e -> e
+              | Ok backends ->
+                  Ok
                     {
-                      Workload.mix;
-                      key_range = r.key_range;
-                      prefill_n = r.prefill;
-                      dist;
-                    };
-                  open_loop_ns = r.open_loop_ns;
-                  crash = r.crash;
-                  wb = r.wb;
-                  restart_ns = r.restart_ns;
-                  seed = r.seed;
-                }))
+                      Store.factory;
+                      backends;
+                      shards = r.shards;
+                      clients = r.clients;
+                      ops_per_client = r.ops_per_client;
+                      batch = r.batch;
+                      workload =
+                        {
+                          Workload.mix;
+                          key_range = r.key_range;
+                          prefill_n = r.prefill;
+                          dist;
+                        };
+                      open_loop_ns = r.open_loop_ns;
+                      crash = r.crash;
+                      wb = r.wb;
+                      wb2 = r.wb2;
+                      restart_ns = r.restart_ns;
+                      failover_ns = r.failover_ns;
+                      replicate = r.replicate;
+                      migrate = r.migrate;
+                      seed = r.seed;
+                    })))
 
 (* ---- rendering --------------------------------------------------------- *)
 
@@ -109,6 +148,10 @@ let crash_string = function
       Printf.sprintf "after %d %d" victim requests
   | Some (Store.At_dispatch { victim; dispatch }) ->
       Printf.sprintf "dispatch %d %d" victim dispatch
+  | Some (Store.Both_at_dispatch { a; b; dispatch }) ->
+      Printf.sprintf "both %d %d %d" a b dispatch
+  | Some (Store.Cascade { first; second; dispatch }) ->
+      Printf.sprintf "cascade %d %d %d" first second dispatch
 
 let pp ppf r =
   Format.fprintf ppf "%s@." magic;
@@ -128,6 +171,19 @@ let pp ppf r =
   | Some m -> Format.fprintf ppf "open-loop-ns %g@." m);
   Format.fprintf ppf "crash %s@." (crash_string r.crash);
   Format.fprintf ppf "wb %s@." (wb_string r.wb);
+  (match r.wb2 with
+  | None -> Format.fprintf ppf "wb2 -@."
+  | Some wb2 -> Format.fprintf ppf "wb2 %s@." (wb_string wb2));
+  (match r.backends with
+  | None -> Format.fprintf ppf "backends -@."
+  | Some names -> Format.fprintf ppf "backends %s@." (String.concat "," names));
+  Format.fprintf ppf "replicate %d@." (if r.replicate then 1 else 0);
+  Format.fprintf ppf "failover-ns %g@." r.failover_ns;
+  (match r.migrate with
+  | None -> Format.fprintf ppf "migrate none@."
+  | Some { Store.msrc; m_after; m_broken } ->
+      Format.fprintf ppf "migrate %d %d %d@." msrc m_after
+        (if m_broken then 1 else 0));
   Format.fprintf ppf "restart-ns %g@." r.restart_ns;
   Format.fprintf ppf "seed %d@." r.seed;
   Format.fprintf ppf "error %s@." (one_line r.error);
@@ -179,7 +235,34 @@ let parse_crash = function
           | Some victim, Some dispatch ->
               Ok (Some (Store.At_dispatch { victim; dispatch }))
           | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+      | [ "both"; a; b; k ] -> (
+          match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt k)
+          with
+          | Some a, Some b, Some dispatch ->
+              Ok (Some (Store.Both_at_dispatch { a; b; dispatch }))
+          | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+      | [ "cascade"; f; snd; k ] -> (
+          match
+            (int_of_string_opt f, int_of_string_opt snd, int_of_string_opt k)
+          with
+          | Some first, Some second, Some dispatch ->
+              Ok (Some (Store.Cascade { first; second; dispatch }))
+          | _ -> Error (Printf.sprintf "bad crash plan %S" s))
       | _ -> Error (Printf.sprintf "bad crash plan %S" s))
+
+let parse_migrate = function
+  | "none" -> Ok None
+  | s -> (
+      match String.split_on_char ' ' s with
+      | [ src; after; broken ] -> (
+          match
+            (int_of_string_opt src, int_of_string_opt after,
+             int_of_string_opt broken)
+          with
+          | Some msrc, Some m_after, Some b when b = 0 || b = 1 ->
+              Ok (Some { Store.msrc; m_after; m_broken = b = 1 })
+          | _ -> Error (Printf.sprintf "bad migrate plan %S" s))
+      | _ -> Error (Printf.sprintf "bad migrate plan %S" s))
 
 let parse_dist = function
   | "uniform" -> Ok None
@@ -215,6 +298,12 @@ let load path =
             open_loop_ns = None;
             crash = None;
             wb = `Rng;
+            (* elastic fields default here, so pre-elastic files parse *)
+            wb2 = None;
+            backends = None;
+            replicate = false;
+            failover_ns = 500.;
+            migrate = None;
             restart_ns = -1.;
             seed = 0;
             error = "";
@@ -287,6 +376,32 @@ let load path =
                 match parse_wb value with
                 | Ok wb -> r := { !r with wb }
                 | Error e -> fail e)
+            | "wb2" -> (
+                once key;
+                if value = "-" then r := { !r with wb2 = None }
+                else
+                  match parse_wb value with
+                  | Ok wb2 -> r := { !r with wb2 = Some wb2 }
+                  | Error e -> fail e)
+            | "backends" ->
+                once key;
+                if value = "-" then r := { !r with backends = None }
+                else
+                  r :=
+                    { !r with backends = Some (String.split_on_char ',' value) }
+            | "replicate" -> (
+                once key;
+                match value with
+                | "0" -> r := { !r with replicate = false }
+                | "1" -> r := { !r with replicate = true }
+                | _ -> fail (Printf.sprintf "bad replicate %S" value))
+            | "failover-ns" ->
+                float_field key (fun r x -> { r with failover_ns = x }) value
+            | "migrate" -> (
+                once key;
+                match parse_migrate value with
+                | Ok migrate -> r := { !r with migrate }
+                | Error e -> fail e)
             | "restart-ns" ->
                 float_field key (fun r x -> { r with restart_ns = x }) value
             | "seed" -> int_field key (fun r n -> { r with seed = n }) value
@@ -316,6 +431,7 @@ let load path =
           else if r.prefill < 0 then Error "missing/invalid prefill field"
           else if r.restart_ns < 0. then
             Error "missing/invalid restart-ns field"
+          else if r.failover_ns < 0. then Error "invalid failover-ns field"
           else Ok r)
 
 (* ---- replay ------------------------------------------------------------ *)

@@ -23,6 +23,15 @@ type t = {
   open_loop_ns : float option;
   crash : Store.crash_plan option;
   wb : [ `Rng | `Drop | `All | `Prefix of int ];
+  wb2 : [ `Rng | `Drop | `All | `Prefix of int ] option;
+      (** second correlated-crash victim's resolution; optional in the
+          file (["wb2 -"]), so pre-elastic files parse *)
+  backends : string list option;
+      (** per-shard algo names (["backends -"] = uniform) *)
+  replicate : bool;  (** optional field, default false *)
+  failover_ns : float;  (** optional field, default 500 *)
+  migrate : Store.migrate_plan option;
+      (** ["migrate none"] or ["migrate <src> <after> <broken01>"] *)
   restart_ns : float;
   seed : int;
   error : string;

@@ -209,13 +209,20 @@ let space t =
   in
   push (Pmem.line_of t.head) (`Payload []);
   push (Pmem.line_of t.tail_hint) (`Payload []);
-  let rec walk nd =
+  (* the head node is the sentinel: its value (if any) was already
+     consumed by the dequeue that promoted it, so it is structure, not
+     abstract state — [to_list] skips it for the same reason *)
+  let rec walk ~sentinel nd =
     push nd.line
-      (match nd.value with Some v -> `Payload [ v ] | None -> `Payload []);
+      (match nd.value with
+      | Some v when not sentinel -> `Payload [ v ]
+      | _ -> `Payload []);
     desc_of_info (Pmem.peek nd.info);
-    match Pmem.peek nd.next with None -> () | Some next -> walk next
+    match Pmem.peek nd.next with
+    | None -> ()
+    | Some next -> walk ~sentinel:false next
   in
-  walk (Pmem.peek t.head);
+  walk ~sentinel:true (Pmem.peek t.head);
   Array.iter
     (fun h ->
       push (Pmem.line_of h.Tracking.cp) (`Meta "checkpoint");

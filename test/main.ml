@@ -28,4 +28,5 @@ let () =
       ("space", Test_space.suite);
       ("store", Test_store.suite);
       ("parallel", Test_parallel.suite);
+      ("elastic", Test_elastic.suite);
     ]

@@ -133,8 +133,8 @@ let test_store_explore_jobs_identical () =
   Alcotest.(check int) "executions" s1.Store.ex_executions s2.Store.ex_executions;
   Alcotest.(check int) "fired" s1.Store.ex_fired s2.Store.ex_fired;
   Alcotest.(check int) "failures" s1.Store.ex_failures s2.Store.ex_failures;
-  Alcotest.(check (array int))
-    "max dispatch per shard" s1.Store.ex_max_dispatch s2.Store.ex_max_dispatch;
+  Alcotest.(check (array (pair string int)))
+    "max dispatch per victim" s1.Store.ex_max_dispatch s2.Store.ex_max_dispatch;
   Alcotest.(check (option string))
     "first failure" s1.Store.ex_first_failure s2.Store.ex_first_failure
 

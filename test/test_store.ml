@@ -279,10 +279,10 @@ let test_explore_clean_on_tracking () =
       Alcotest.(check int) "no failures" 0 st.Store.ex_failures;
       Alcotest.(check bool) "crash points actually fired" true
         (st.Store.ex_fired > 0);
-      Array.iteri
-        (fun sid d ->
+      Array.iter
+        (fun (label, d) ->
           Alcotest.(check bool)
-            (Printf.sprintf "shard %d explored" sid)
+            (Printf.sprintf "%s explored" label)
             true (d > 0))
         st.Store.ex_max_dispatch
 
